@@ -1,0 +1,44 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark module reproduces one table or figure from the paper's
+evaluation by calling the corresponding function in
+:mod:`repro.bench.experiments`, printing the resulting table (so it can be
+compared against the paper and pasted into EXPERIMENTS.md), and asserting
+the qualitative shape of the result.
+
+Scale control: set ``REPRO_BENCH_SCALE`` to ``smoke``, ``default`` or
+``thorough``. The default keeps the whole suite at a few minutes of wall
+clock; ``thorough`` tightens the estimates at ~10x the cost.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import Scale
+
+_SCALES = {
+    "smoke": Scale.smoke,
+    "default": Scale.default,
+    "thorough": Scale.thorough,
+    # A compact preset tuned so the full figure suite stays fast while still
+    # saturating the protocol bottlenecks the figures are about.
+    "bench": lambda: Scale("bench", num_keys=2_000, clients_per_replica=12, ops_per_client=120),
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    """The run-size preset used by every benchmark in this session."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "bench").lower()
+    factory = _SCALES.get(name)
+    if factory is None:
+        raise ValueError(f"unknown REPRO_BENCH_SCALE={name!r}; options: {sorted(_SCALES)}")
+    return factory()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+"""Figures 5a and 5b: throughput vs write ratio, uniform and zipfian traffic.
+
+Paper result (5 nodes): Hermes achieves the highest throughput at every write
+ratio; CRAQ trails it (12% at 1% writes, ~40% at 20% writes) and ZAB is far
+below both once writes appear; all three are identical for read-only traffic.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import figure_5a_throughput_uniform, figure_5b_throughput_skew
+from repro.bench.harness import ExperimentSpec, run_experiment
+
+from .conftest import run_once
+
+
+def assert_throughput_shape(result):
+    """Hermes >= CRAQ >= ZAB at every evaluated write ratio (paper Fig. 5)."""
+    for ratio in (0.05, 0.20, 0.50, 1.00):
+        hermes = result.data[("hermes", ratio)]
+        craq = result.data[("craq", ratio)]
+        zab = result.data[("zab", ratio)]
+        assert hermes > craq, f"Hermes should beat CRAQ at {ratio:.0%} writes"
+        assert hermes > zab, f"Hermes should beat ZAB at {ratio:.0%} writes"
+        assert craq > zab, f"CRAQ should beat ZAB at {ratio:.0%} writes"
+    # The Hermes/CRAQ gap widens as the write ratio grows (paper: 12% -> 40%).
+    gap_low = result.data[("hermes", 0.01)] / result.data[("craq", 0.01)]
+    gap_high = result.data[("hermes", 0.20)] / result.data[("craq", 0.20)]
+    assert gap_high > gap_low
+
+
+def test_fig5a_throughput_uniform(benchmark, scale):
+    result = run_once(benchmark, figure_5a_throughput_uniform, scale=scale)
+    print()
+    print(result.table())
+    assert_throughput_shape(result)
+
+
+def test_fig5b_throughput_skewed(benchmark, scale):
+    result = run_once(benchmark, figure_5b_throughput_skew, scale=scale)
+    print()
+    print(result.table())
+    assert_throughput_shape(result)
+
+
+def test_fig5_read_only_point_identical_across_protocols(benchmark, scale):
+    """§6.1/§6.2: at 0% writes all three systems perform identically."""
+
+    def run():
+        throughputs = {}
+        for protocol in ("hermes", "craq", "zab"):
+            spec = ExperimentSpec(protocol=protocol, write_ratio=0.0).with_scale(scale)
+            throughputs[protocol] = run_experiment(spec).throughput
+        return throughputs
+
+    throughputs = run_once(benchmark, run)
+    print()
+    print("read-only throughput:", {k: f"{v:,.0f}" for k, v in throughputs.items()})
+    values = list(throughputs.values())
+    assert max(values) / min(values) < 1.05

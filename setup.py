@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Package metadata lives in ``pyproject.toml``; this stub exists so that the
+package can be installed in editable mode on environments whose tooling
+predates PEP 660 editable wheels (and in offline environments where build
+isolation cannot fetch a build backend).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Result analysis: latency/throughput statistics and report formatting.
+
+* :mod:`repro.analysis.stats` — percentile and throughput computations over
+  :class:`~repro.types.OperationResult` collections, plus windowed
+  throughput time series (Figure 9).
+* :mod:`repro.analysis.report` — plain-text table/series formatting used by
+  the benchmark harness and EXPERIMENTS.md generation.
+"""
+
+from repro.analysis.report import format_series, format_table
+from repro.analysis.stats import (
+    LatencySummary,
+    latency_summary,
+    percentile,
+    throughput,
+    throughput_timeseries,
+)
+
+__all__ = [
+    "LatencySummary",
+    "format_series",
+    "format_table",
+    "latency_summary",
+    "percentile",
+    "throughput",
+    "throughput_timeseries",
+]

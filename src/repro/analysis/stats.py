@@ -1,0 +1,165 @@
+"""Latency and throughput statistics.
+
+All functions operate on :class:`~repro.types.OperationResult` collections
+produced by client sessions. Latencies are in simulated seconds; helper
+properties expose microseconds because that is the unit the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import BenchmarkError
+from repro.types import OperationResult, OpStatus, OpType
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Return the ``fraction`` percentile (0-1) of ``values``.
+
+    Uses linear interpolation between closest ranks, matching the common
+    definition used by numpy's default method.
+
+    Raises:
+        BenchmarkError: if ``values`` is empty or ``fraction`` out of range.
+    """
+    if not values:
+        raise BenchmarkError("cannot compute a percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise BenchmarkError("percentile fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    weight = rank - low
+    interpolated = ordered[low] * (1.0 - weight) + ordered[high] * weight
+    # Clamp to the observed range (guards against floating-point overshoot).
+    return min(max(interpolated, ordered[0]), ordered[-1])
+
+
+@dataclass
+class LatencySummary:
+    """Latency percentiles for one class of operations (seconds).
+
+    Attributes:
+        count: Number of operations summarized.
+        mean: Mean latency.
+        median: 50th percentile latency.
+        p95: 95th percentile latency.
+        p99: 99th percentile latency.
+        maximum: Worst observed latency.
+    """
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @property
+    def median_us(self) -> float:
+        """Median latency in microseconds."""
+        return self.median * 1e6
+
+    @property
+    def p99_us(self) -> float:
+        """99th-percentile latency in microseconds."""
+        return self.p99 * 1e6
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """A summary for an empty result set (all zeros)."""
+        return cls(count=0, mean=0.0, median=0.0, p95=0.0, p99=0.0, maximum=0.0)
+
+
+def latency_summary(
+    results: Iterable[OperationResult],
+    op_type: Optional[OpType] = None,
+    only_ok: bool = True,
+) -> LatencySummary:
+    """Summarize latencies, optionally filtered by operation type."""
+    latencies = [
+        r.latency
+        for r in results
+        if (op_type is None or r.op.op_type is op_type) and (not only_ok or r.ok)
+    ]
+    if not latencies:
+        return LatencySummary.empty()
+    return LatencySummary(
+        count=len(latencies),
+        mean=sum(latencies) / len(latencies),
+        median=percentile(latencies, 0.50),
+        p95=percentile(latencies, 0.95),
+        p99=percentile(latencies, 0.99),
+        maximum=max(latencies),
+    )
+
+
+def throughput(
+    results: Sequence[OperationResult],
+    warmup_fraction: float = 0.1,
+    only_ok: bool = True,
+) -> float:
+    """Steady-state throughput in operations per simulated second.
+
+    The first ``warmup_fraction`` of the measured interval is discarded so
+    that cold-start effects (empty queues, unsaturated pipelines) do not
+    inflate or deflate the estimate.
+    """
+    usable = [r for r in results if not only_ok or r.ok]
+    if not usable:
+        return 0.0
+    start = min(r.start_time for r in usable)
+    end = max(r.end_time for r in usable)
+    span = end - start
+    if span <= 0:
+        return 0.0
+    cutoff = start + span * warmup_fraction
+    counted = [r for r in usable if r.end_time >= cutoff]
+    effective_span = end - cutoff
+    if effective_span <= 0 or not counted:
+        return 0.0
+    return len(counted) / effective_span
+
+
+def throughput_timeseries(
+    results: Sequence[OperationResult],
+    window: float,
+    end_time: Optional[float] = None,
+    only_ok: bool = True,
+) -> List[Tuple[float, float]]:
+    """Windowed throughput over time, for availability timelines (Figure 9).
+
+    Returns:
+        A list of ``(window_start_time, ops_per_second)`` pairs covering the
+        execution from time zero to ``end_time`` (or the last completion).
+    """
+    if window <= 0:
+        raise BenchmarkError("window must be positive")
+    usable = [r for r in results if not only_ok or r.ok]
+    if not usable:
+        return []
+    horizon = end_time if end_time is not None else max(r.end_time for r in usable)
+    num_windows = int(horizon / window) + 1
+    counts = [0] * num_windows
+    for result in usable:
+        index = int(result.end_time / window)
+        if 0 <= index < num_windows:
+            counts[index] += 1
+    return [(i * window, counts[i] / window) for i in range(num_windows)]
+
+
+def completed_ok(results: Iterable[OperationResult]) -> int:
+    """Number of successfully completed operations."""
+    return sum(1 for r in results if r.ok)
+
+
+def abort_rate(results: Sequence[OperationResult]) -> float:
+    """Fraction of operations that aborted (RMW conflicts)."""
+    if not results:
+        return 0.0
+    aborted = sum(1 for r in results if r.status is OpStatus.ABORTED)
+    return aborted / len(results)

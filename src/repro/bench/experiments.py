@@ -1,0 +1,501 @@
+"""Experiment definitions: one function per paper figure/table.
+
+Every function returns a :class:`FigureResult` whose rows mirror the series
+the paper plots, plus a ``data`` mapping for programmatic access (used by the
+benchmark assertions). The functions are deterministic for a given seed and
+scale preset.
+
+The absolute numbers differ from the paper (the substrate is a Python
+discrete-event simulator, not a 56 Gb InfiniBand testbed); the assertions in
+``benchmarks/`` check the *shape*: who wins, roughly by how much, and where
+the qualitative effects (leader bottleneck, tail hotspot, unavailability
+window) appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import throughput_timeseries
+from repro.bench.harness import ExperimentResult, ExperimentSpec, Scale, run_experiment
+from repro.cluster.client import ClosedLoopClient
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.core.config import HermesConfig
+from repro.membership.detector import FailureDetectorConfig
+from repro.membership.service import MembershipConfig
+from repro.protocols.base import ReplicaConfig, protocol_registry
+from repro.workloads.distributions import UniformKeys
+from repro.workloads.generator import WorkloadMix
+
+#: Write ratios evaluated by Figures 5 and 6 of the paper.
+PAPER_WRITE_RATIOS: Tuple[float, ...] = (0.01, 0.05, 0.20, 0.50, 0.75, 1.00)
+
+#: The three protocols compared in the main throughput/latency figures.
+MAIN_PROTOCOLS: Tuple[str, ...] = ("hermes", "craq", "zab")
+
+
+@dataclass
+class FigureResult:
+    """A reproduced table or figure.
+
+    Attributes:
+        figure: Identifier, e.g. ``"Figure 5a"``.
+        headers: Column headers of the rendered table.
+        rows: Table rows.
+        data: Structured access to the numbers, keyed per experiment.
+        notes: Free-form notes (what the paper reported, caveats).
+    """
+
+    figure: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+    data: Dict = field(default_factory=dict)
+    notes: str = ""
+
+    def table(self) -> str:
+        """Render the result as an aligned text table."""
+        return format_table(self.headers, self.rows, title=self.figure)
+
+
+# ---------------------------------------------------------------------------
+# Figures 5a / 5b: throughput vs write ratio
+# ---------------------------------------------------------------------------
+def _throughput_sweep(
+    figure: str,
+    zipfian_exponent: Optional[float],
+    scale: Scale,
+    protocols: Sequence[str] = MAIN_PROTOCOLS,
+    write_ratios: Sequence[float] = PAPER_WRITE_RATIOS,
+    num_replicas: int = 5,
+    seed: int = 1,
+) -> FigureResult:
+    result = FigureResult(
+        figure=figure,
+        headers=["write_ratio", *protocols],
+        notes="throughput in completed operations per simulated second",
+    )
+    for ratio in write_ratios:
+        row: List[object] = [f"{ratio:.0%}"]
+        for protocol in protocols:
+            spec = ExperimentSpec(
+                protocol=protocol,
+                num_replicas=num_replicas,
+                write_ratio=ratio,
+                zipfian_exponent=zipfian_exponent,
+                seed=seed,
+                label=figure,
+            ).with_scale(scale)
+            run = run_experiment(spec)
+            result.data[(protocol, ratio)] = run.throughput
+            row.append(f"{run.throughput:,.0f}")
+        result.rows.append(row)
+    return result
+
+
+def figure_5a_throughput_uniform(scale: Optional[Scale] = None, seed: int = 1) -> FigureResult:
+    """Figure 5a: throughput vs write ratio under uniform traffic (5 nodes)."""
+    return _throughput_sweep(
+        "Figure 5a (throughput, uniform)", None, scale or Scale.default(), seed=seed
+    )
+
+
+def figure_5b_throughput_skew(scale: Optional[Scale] = None, seed: int = 1) -> FigureResult:
+    """Figure 5b: throughput vs write ratio under zipfian(0.99) traffic."""
+    return _throughput_sweep(
+        "Figure 5b (throughput, zipfian 0.99)", 0.99, scale or Scale.default(), seed=seed
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6a: latency vs throughput at 5% writes
+# ---------------------------------------------------------------------------
+def figure_6a_latency_vs_throughput(
+    scale: Optional[Scale] = None,
+    protocols: Sequence[str] = MAIN_PROTOCOLS,
+    client_counts: Sequence[int] = (1, 2, 4, 8),
+    seed: int = 1,
+) -> FigureResult:
+    """Figure 6a: median/99th latency as a function of offered load (5% writes)."""
+    scale = scale or Scale.default()
+    result = FigureResult(
+        figure="Figure 6a (latency vs throughput, 5% writes, uniform)",
+        headers=["protocol", "clients/replica", "throughput", "median_us", "p99_us"],
+        notes="offered load swept via closed-loop clients per replica",
+    )
+    for protocol in protocols:
+        for clients in client_counts:
+            spec = replace(
+                ExperimentSpec(
+                    protocol=protocol,
+                    write_ratio=0.05,
+                    seed=seed,
+                    label="fig6a",
+                ).with_scale(scale),
+                clients_per_replica=clients,
+            )
+            run = run_experiment(spec)
+            result.data[(protocol, clients)] = (
+                run.throughput,
+                run.overall_latency.median_us,
+                run.overall_latency.p99_us,
+            )
+            result.rows.append(
+                [
+                    protocol,
+                    clients,
+                    f"{run.throughput:,.0f}",
+                    f"{run.overall_latency.median_us:.1f}",
+                    f"{run.overall_latency.p99_us:.1f}",
+                ]
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 6b / 6c: read & write latency vs write ratio
+# ---------------------------------------------------------------------------
+def _latency_sweep(
+    figure: str,
+    zipfian_exponent: Optional[float],
+    scale: Scale,
+    protocols: Sequence[str] = ("hermes", "craq"),
+    write_ratios: Sequence[float] = PAPER_WRITE_RATIOS,
+    seed: int = 1,
+) -> FigureResult:
+    result = FigureResult(
+        figure=figure,
+        headers=[
+            "protocol",
+            "write_ratio",
+            "read_median_us",
+            "read_p99_us",
+            "write_median_us",
+            "write_p99_us",
+        ],
+        notes="latencies measured at a fixed offered load (paper: rCRAQ peak load)",
+    )
+    for protocol in protocols:
+        for ratio in write_ratios:
+            spec = ExperimentSpec(
+                protocol=protocol,
+                write_ratio=ratio,
+                zipfian_exponent=zipfian_exponent,
+                seed=seed,
+                label=figure,
+            ).with_scale(scale)
+            run = run_experiment(spec)
+            result.data[(protocol, ratio)] = {
+                "read_median_us": run.read_latency.median_us,
+                "read_p99_us": run.read_latency.p99_us,
+                "write_median_us": run.write_latency.median_us,
+                "write_p99_us": run.write_latency.p99_us,
+                "throughput": run.throughput,
+            }
+            result.rows.append(
+                [
+                    protocol,
+                    f"{ratio:.0%}",
+                    f"{run.read_latency.median_us:.1f}",
+                    f"{run.read_latency.p99_us:.1f}",
+                    f"{run.write_latency.median_us:.1f}",
+                    f"{run.write_latency.p99_us:.1f}",
+                ]
+            )
+    return result
+
+
+def figure_6b_latency_uniform(scale: Optional[Scale] = None, seed: int = 1) -> FigureResult:
+    """Figure 6b: read/write median and 99th latency vs write ratio (uniform)."""
+    return _latency_sweep(
+        "Figure 6b (latency vs write ratio, uniform)", None, scale or Scale.default(), seed=seed
+    )
+
+
+def figure_6c_latency_skew(scale: Optional[Scale] = None, seed: int = 1) -> FigureResult:
+    """Figure 6c: read/write median and 99th latency vs write ratio (zipfian)."""
+    return _latency_sweep(
+        "Figure 6c (latency vs write ratio, zipfian 0.99)",
+        0.99,
+        scale or Scale.default(),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: scalability with replication degree
+# ---------------------------------------------------------------------------
+def figure_7_scalability(
+    scale: Optional[Scale] = None,
+    protocols: Sequence[str] = MAIN_PROTOCOLS,
+    replica_counts: Sequence[int] = (3, 5, 7),
+    write_ratios: Sequence[float] = (0.01, 0.20),
+    seed: int = 1,
+) -> FigureResult:
+    """Figure 7: throughput for 3/5/7 replicas at 1% and 20% writes (uniform)."""
+    scale = scale or Scale.default()
+    result = FigureResult(
+        figure="Figure 7 (scalability with replication degree)",
+        headers=["write_ratio", "protocol", *[f"{n} nodes" for n in replica_counts]],
+    )
+    for ratio in write_ratios:
+        for protocol in protocols:
+            row: List[object] = [f"{ratio:.0%}", protocol]
+            for replicas in replica_counts:
+                spec = ExperimentSpec(
+                    protocol=protocol,
+                    num_replicas=replicas,
+                    write_ratio=ratio,
+                    seed=seed,
+                    label="fig7",
+                ).with_scale(scale)
+                run = run_experiment(spec)
+                result.data[(protocol, ratio, replicas)] = run.throughput
+                row.append(f"{run.throughput:,.0f}")
+            result.rows.append(row)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: comparison to Derecho (write-only, varying object size)
+# ---------------------------------------------------------------------------
+def figure_8_derecho(
+    scale: Optional[Scale] = None,
+    object_sizes: Sequence[int] = (32, 256, 1024),
+    seed: int = 1,
+) -> FigureResult:
+    """Figure 8: single-threaded Hermes vs Derecho, write-only workload."""
+    scale = scale or Scale.default()
+    result = FigureResult(
+        figure="Figure 8 (Hermes single-thread vs Derecho, write-only)",
+        headers=["object_size", "hermes", "derecho", "ratio"],
+        notes="both systems limited to one worker thread per node (paper §6.5)",
+    )
+    for size in object_sizes:
+        runs = {}
+        for protocol in ("hermes", "derecho"):
+            spec = ExperimentSpec(
+                protocol=protocol,
+                write_ratio=1.0,
+                value_size=size,
+                worker_threads=1,
+                seed=seed,
+                label="fig8",
+            ).with_scale(scale)
+            runs[protocol] = run_experiment(spec)
+        hermes_tput = runs["hermes"].throughput
+        derecho_tput = runs["derecho"].throughput
+        ratio = hermes_tput / derecho_tput if derecho_tput else float("inf")
+        result.data[size] = {"hermes": hermes_tput, "derecho": derecho_tput, "ratio": ratio}
+        result.rows.append(
+            [f"{size}B", f"{hermes_tput:,.0f}", f"{derecho_tput:,.0f}", f"{ratio:.1f}x"]
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: throughput timeline across a node failure
+# ---------------------------------------------------------------------------
+def figure_9_failure(
+    write_ratio: float = 0.05,
+    num_replicas: int = 5,
+    num_keys: int = 1_000,
+    crash_time: float = 0.060,
+    detection_timeout: float = 0.150,
+    total_time: float = 0.400,
+    think_time: float = 120e-6,
+    clients_per_replica: int = 3,
+    window: float = 0.010,
+    seed: int = 1,
+) -> FigureResult:
+    """Figure 9: HermesKV throughput before, during and after a node failure.
+
+    A five-node Hermes deployment runs with the RM service enabled; one node
+    is crashed at ``crash_time``. Live nodes block on the failed node's ACKs,
+    throughput collapses, and once the conservative detection timeout and the
+    outstanding leases expire the membership is reliably updated and
+    throughput recovers (at a lower steady state, since one replica is gone).
+    """
+    membership = MembershipConfig(
+        lease_duration=0.040,
+        renewal_interval=0.010,
+        detection=FailureDetectorConfig(ping_interval=0.010, detection_timeout=detection_timeout),
+    )
+    config = ClusterConfig(
+        protocol="hermes",
+        num_replicas=num_replicas,
+        seed=seed,
+        run_membership_service=True,
+        membership=membership,
+    )
+    cluster = Cluster(config)
+    workload = WorkloadMix(
+        distribution=UniformKeys(num_keys),
+        write_ratio=write_ratio,
+        value_size=32,
+        seed=seed,
+    )
+    cluster.preload(workload.initial_dataset())
+
+    crashed_node = max(cluster.node_ids)
+    cluster.crash_at(crashed_node, crash_time)
+
+    clients: List[ClosedLoopClient] = []
+    client_id = 0
+    for node_id in cluster.node_ids:
+        # Clients of the failed node simply stop completing requests after
+        # the crash; including them shows the lower post-recovery steady
+        # state (one replica's worth of serving capacity is gone).
+        for _ in range(clients_per_replica):
+            clients.append(
+                ClosedLoopClient(
+                    client_id=client_id,
+                    cluster=cluster,
+                    workload=workload,
+                    max_ops=10**9,
+                    think_time=think_time,
+                    replica_id=node_id,
+                )
+            )
+            client_id += 1
+    for client in clients:
+        client.start()
+    cluster.run(until=total_time)
+
+    results = []
+    for client in clients:
+        results.extend(client.results)
+    series = throughput_timeseries(results, window=window, end_time=total_time)
+
+    reconfig_times = (
+        cluster.membership_service.reconfiguration_times if cluster.membership_service else []
+    )
+    result = FigureResult(
+        figure="Figure 9 (throughput under a node failure)",
+        headers=["time_ms", "ops_per_sec"],
+        notes=(
+            f"node {crashed_node} crashed at {crash_time * 1e3:.0f} ms; "
+            f"membership reconfigured at "
+            + ", ".join(f"{t * 1e3:.1f} ms" for t in reconfig_times)
+        ),
+    )
+    for time_s, ops in series:
+        result.rows.append([f"{time_s * 1e3:.0f}", f"{ops:,.0f}"])
+    result.data = {
+        "series": series,
+        "crash_time": crash_time,
+        "reconfiguration_times": reconfig_times,
+        "window": window,
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Table 2: protocol feature comparison
+# ---------------------------------------------------------------------------
+def table_2_features(protocols: Sequence[str] = ("hermes", "craq", "zab", "derecho", "cr")) -> FigureResult:
+    """Table 2: read/write feature comparison of the evaluated systems."""
+    registry = protocol_registry()
+    result = FigureResult(
+        figure="Table 2 (protocol features)",
+        headers=[
+            "system",
+            "local reads",
+            "leases",
+            "consistency",
+            "inter-key concurrent",
+            "decentralized",
+            "write latency (RTT)",
+        ],
+    )
+    for name in protocols:
+        features = registry[name].features()
+        result.data[name] = features
+        result.rows.append(
+            [
+                features.name,
+                "yes" if features.local_reads else "no",
+                features.leases,
+                features.consistency,
+                "yes" if features.inter_key_concurrent_writes else "no",
+                "yes" if features.decentralized_writes else "no",
+                features.write_latency_rtt,
+            ]
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Ablations (design choices called out in DESIGN.md)
+# ---------------------------------------------------------------------------
+def ablation_optimizations(
+    scale: Optional[Scale] = None,
+    write_ratio: float = 0.20,
+    seed: int = 1,
+) -> FigureResult:
+    """Ablation: Hermes optimizations O1 (skip VALs), O2 (virtual ids), O3 (ACK broadcast)."""
+    scale = scale or Scale.default()
+    variants: Dict[str, HermesConfig] = {
+        "baseline (O1 on)": HermesConfig(),
+        "no O1 (always VAL)": HermesConfig(skip_unneeded_vals=False),
+        "O2 (4 virtual ids)": HermesConfig(virtual_ids_per_node=4),
+        "O3 (broadcast ACKs)": HermesConfig(broadcast_acks=True),
+    }
+    result = FigureResult(
+        figure="Ablation: Hermes protocol optimizations",
+        headers=["variant", "throughput", "write_p99_us", "messages_sent"],
+    )
+    for label, hermes_config in variants.items():
+        spec = ExperimentSpec(
+            protocol="hermes",
+            write_ratio=write_ratio,
+            hermes=hermes_config,
+            seed=seed,
+            label="ablation-opt",
+        ).with_scale(scale)
+        run = run_experiment(spec)
+        result.data[label] = {
+            "throughput": run.throughput,
+            "write_p99_us": run.write_latency.p99_us,
+            "messages_sent": run.cluster_stats["messages_sent"],
+        }
+        result.rows.append(
+            [
+                label,
+                f"{run.throughput:,.0f}",
+                f"{run.write_latency.p99_us:.1f}",
+                run.cluster_stats["messages_sent"],
+            ]
+        )
+    return result
+
+
+def ablation_wings_batching(
+    scale: Optional[Scale] = None,
+    write_ratio: float = 0.20,
+    seed: int = 1,
+) -> FigureResult:
+    """Ablation: direct one-packet-per-message transport vs Wings batching."""
+    scale = scale or Scale.default()
+    result = FigureResult(
+        figure="Ablation: Wings opportunistic batching",
+        headers=["transport", "throughput", "network_packets"],
+    )
+    for label, use_wings in (("direct", False), ("wings batching", True)):
+        spec = ExperimentSpec(
+            protocol="hermes",
+            write_ratio=write_ratio,
+            use_wings=use_wings,
+            seed=seed,
+            label="ablation-wings",
+        ).with_scale(scale)
+        run = run_experiment(spec)
+        result.data[label] = {
+            "throughput": run.throughput,
+            "network_packets": run.cluster_stats["messages_sent"],
+        }
+        result.rows.append(
+            [label, f"{run.throughput:,.0f}", run.cluster_stats["messages_sent"]]
+        )
+    return result

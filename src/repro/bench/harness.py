@@ -1,0 +1,239 @@
+"""Experiment runner shared by every benchmark.
+
+An :class:`ExperimentSpec` fully describes one measurement point: protocol,
+replication degree, workload (write ratio, key distribution, value size),
+offered load (closed-loop clients) and duration (operations per client). The
+runner builds the cluster, drives it, and reduces the recorded
+:class:`~repro.types.OperationResult` records into an
+:class:`ExperimentResult` with throughput and latency summaries.
+
+Scaling: the paper's runs use one million keys and minutes of wall-clock
+time; the simulated reproduction keeps the same *structure* but runs far
+fewer operations by default so the full benchmark suite completes in
+minutes. :class:`Scale` presets ("smoke", "default", "thorough") control the
+sizes; absolute numbers change with scale, relative protocol behaviour does
+not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.analysis.stats import LatencySummary, latency_summary, throughput
+from repro.cluster.client import ClosedLoopClient, run_clients
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.core.config import HermesConfig
+from repro.errors import BenchmarkError
+from repro.protocols.base import ReplicaConfig
+from repro.protocols.derecho import DerechoConfig
+from repro.sim.node import ServiceTimeModel
+from repro.types import OperationResult, OpType
+from repro.verification.history import History
+from repro.workloads.distributions import UniformKeys, ZipfianKeys
+from repro.workloads.generator import WorkloadMix
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Run-size preset for experiments.
+
+    Attributes:
+        name: Preset name.
+        num_keys: Size of the key space.
+        clients_per_replica: Closed-loop sessions bound to each replica.
+        ops_per_client: Operations issued by each session.
+    """
+
+    name: str
+    num_keys: int
+    clients_per_replica: int
+    ops_per_client: int
+
+    @classmethod
+    def smoke(cls) -> "Scale":
+        """Tiny runs for CI smoke tests (seconds)."""
+        return cls("smoke", num_keys=500, clients_per_replica=4, ops_per_client=60)
+
+    @classmethod
+    def default(cls) -> "Scale":
+        """The default benchmark size (a few minutes for the full suite)."""
+        return cls("default", num_keys=4_000, clients_per_replica=10, ops_per_client=200)
+
+    @classmethod
+    def thorough(cls) -> "Scale":
+        """Larger runs for tighter estimates."""
+        return cls("thorough", num_keys=20_000, clients_per_replica=20, ops_per_client=600)
+
+
+@dataclass
+class ExperimentSpec:
+    """One measurement point.
+
+    Attributes:
+        protocol: Protocol registry name.
+        num_replicas: Replication degree.
+        write_ratio: Fraction of updates in the workload.
+        rmw_ratio: Fraction of updates that are RMWs.
+        zipfian_exponent: ``None`` for uniform keys, otherwise the exponent.
+        num_keys: Key-space size.
+        value_size: Written value size in bytes.
+        clients_per_replica: Closed-loop sessions per replica.
+        ops_per_client: Operations per session.
+        seed: Root seed.
+        use_wings: Whether replicas use the Wings batching transport.
+        worker_threads: Per-node worker threads (Figure 8 pins this to 1).
+        hermes: Optional Hermes configuration override.
+        derecho: Optional Derecho configuration override.
+        record_history: Whether to record a linearizability-checkable history.
+        max_sim_time: Safety cap on simulated seconds.
+        label: Free-form label carried into the result.
+    """
+
+    protocol: str = "hermes"
+    num_replicas: int = 5
+    write_ratio: float = 0.05
+    rmw_ratio: float = 0.0
+    zipfian_exponent: Optional[float] = None
+    num_keys: int = 4_000
+    value_size: int = 32
+    clients_per_replica: int = 3
+    ops_per_client: int = 220
+    seed: int = 1
+    use_wings: bool = False
+    worker_threads: int = 20
+    hermes: Optional[HermesConfig] = None
+    derecho: Optional[DerechoConfig] = None
+    record_history: bool = False
+    max_sim_time: float = 120.0
+    label: str = ""
+
+    def with_scale(self, scale: Scale) -> "ExperimentSpec":
+        """A copy of this spec resized to the given scale preset."""
+        return replace(
+            self,
+            num_keys=scale.num_keys,
+            clients_per_replica=scale.clients_per_replica,
+            ops_per_client=scale.ops_per_client,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Reduced results of one experiment run.
+
+    Attributes:
+        spec: The spec that produced the result.
+        throughput: Steady-state completed operations per simulated second.
+        overall_latency: Latency summary over all operations.
+        read_latency: Latency summary over reads.
+        write_latency: Latency summary over updates (writes + RMWs).
+        duration: Simulated duration of the run in seconds.
+        results: Raw per-operation results (for time series / custom stats).
+        history: Recorded history when the spec requested one.
+        cluster_stats: Selected protocol counters summed over replicas.
+    """
+
+    spec: ExperimentSpec
+    throughput: float
+    overall_latency: LatencySummary
+    read_latency: LatencySummary
+    write_latency: LatencySummary
+    duration: float
+    results: List[OperationResult] = field(default_factory=list)
+    history: Optional[History] = None
+    cluster_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mreqs_per_sec(self) -> float:
+        """Throughput in millions of requests per simulated second."""
+        return self.throughput / 1e6
+
+
+def build_cluster(spec: ExperimentSpec) -> Cluster:
+    """Construct the cluster described by an experiment spec."""
+    replica_config = ReplicaConfig(value_size=spec.value_size)
+    hermes_config = spec.hermes or HermesConfig(replica=replica_config)
+    hermes_config.replica = replica_config
+    config = ClusterConfig(
+        protocol=spec.protocol,
+        num_replicas=spec.num_replicas,
+        seed=spec.seed,
+        replica=replica_config,
+        hermes=hermes_config,
+        derecho=spec.derecho or DerechoConfig(),
+        use_wings=spec.use_wings,
+        service_model=ServiceTimeModel(worker_threads=spec.worker_threads),
+    )
+    return Cluster(config)
+
+
+def build_workload(spec: ExperimentSpec) -> WorkloadMix:
+    """Construct the workload described by an experiment spec."""
+    if spec.zipfian_exponent is None:
+        distribution = UniformKeys(spec.num_keys)
+    else:
+        distribution = ZipfianKeys(spec.num_keys, exponent=spec.zipfian_exponent)
+    return WorkloadMix(
+        distribution=distribution,
+        write_ratio=spec.write_ratio,
+        rmw_ratio=spec.rmw_ratio,
+        value_size=spec.value_size,
+        seed=spec.seed,
+    )
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one experiment end to end and reduce its results."""
+    if spec.ops_per_client < 1 or spec.clients_per_replica < 1:
+        raise BenchmarkError("experiment requires at least one client and one operation")
+    cluster = build_cluster(spec)
+    workload = build_workload(spec)
+    cluster.preload(workload.initial_dataset())
+
+    history = History() if spec.record_history else None
+    clients: List[ClosedLoopClient] = []
+    client_id = 0
+    for node_id in cluster.node_ids:
+        for _ in range(spec.clients_per_replica):
+            clients.append(
+                ClosedLoopClient(
+                    client_id=client_id,
+                    cluster=cluster,
+                    workload=workload,
+                    max_ops=spec.ops_per_client,
+                    replica_id=node_id,
+                    history=history,
+                )
+            )
+            client_id += 1
+
+    duration = run_clients(cluster, clients, max_time=spec.max_sim_time)
+
+    results: List[OperationResult] = []
+    for client in clients:
+        results.extend(client.results)
+
+    stats = {
+        "writes_committed": cluster.total_stat("writes_committed"),
+        "reads_served_locally": cluster.total_stat("reads_served_locally"),
+        "reads_served_remotely": cluster.total_stat("reads_served_remotely"),
+        "replays_started": cluster.total_stat("replays_started"),
+        "rmws_aborted": cluster.total_stat("rmws_aborted"),
+        "inv_retransmissions": cluster.total_stat("inv_retransmissions"),
+        "messages_sent": cluster.network.stats.messages_sent,
+    }
+
+    return ExperimentResult(
+        spec=spec,
+        throughput=throughput(results),
+        overall_latency=latency_summary(results),
+        read_latency=latency_summary(results, op_type=OpType.READ),
+        write_latency=latency_summary(
+            [r for r in results if r.op.op_type is not OpType.READ], op_type=None
+        ),
+        duration=duration,
+        results=results,
+        history=history,
+        cluster_stats=stats,
+    )

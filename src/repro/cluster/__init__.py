@@ -1,0 +1,24 @@
+"""Cluster assembly, client sessions and failure injection.
+
+* :mod:`repro.cluster.cluster` — builds a replicated deployment (simulator,
+  network, replicas of a chosen protocol, optional RM service) from a single
+  configuration object.
+* :mod:`repro.cluster.client` — closed-loop and open-loop client sessions
+  that drive the deployment and record operation results / histories.
+* :mod:`repro.cluster.failures` — failure schedules (crashes, partitions,
+  message-loss episodes) applied to a running cluster.
+"""
+
+from repro.cluster.client import ClosedLoopClient, OpenLoopClient
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.failures import FailureEvent, FailureInjector, FailureKind
+
+__all__ = [
+    "ClosedLoopClient",
+    "Cluster",
+    "ClusterConfig",
+    "FailureEvent",
+    "FailureInjector",
+    "FailureKind",
+    "OpenLoopClient",
+]

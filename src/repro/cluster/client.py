@@ -1,0 +1,217 @@
+"""Client sessions driving a replicated deployment.
+
+Two client models are provided:
+
+* :class:`ClosedLoopClient` — issues the next request only after the previous
+  one completed (optionally with think time). Sweeping the number of
+  closed-loop clients sweeps offered load, which is how the latency-versus-
+  throughput curves (Figure 6a) are produced; with many clients the system
+  saturates, which is how the peak-throughput figures (5a, 5b, 7) are
+  produced.
+* :class:`OpenLoopClient` — issues requests at a fixed Poisson arrival rate
+  regardless of completions, modelling external load.
+
+Clients are co-located with replicas, as in the paper's evaluation (§8
+discusses the external-client variant): each session is bound to one replica
+and submits its requests there. Sessions record per-operation results and,
+optionally, an invocation/response history for the linearizability checker.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.types import NodeId, Operation, OperationResult, OpStatus, OpType, Value
+from repro.verification.history import History
+from repro.workloads.generator import WorkloadMix
+
+
+#: Default one-way latency between a client and its (co-located) replica:
+#: request decode/dispatch over the local RPC path. Applied on the way in and
+#: on the way out, so reads cost roughly twice this value end-to-end.
+DEFAULT_REQUEST_LATENCY = 0.75e-6
+
+
+class ClientSession:
+    """Common machinery for client sessions (result/history recording)."""
+
+    def __init__(
+        self,
+        client_id: int,
+        cluster: Cluster,
+        workload: WorkloadMix,
+        replica_id: Optional[NodeId] = None,
+        history: Optional[History] = None,
+        request_latency: float = DEFAULT_REQUEST_LATENCY,
+    ) -> None:
+        self.client_id = client_id
+        self.cluster = cluster
+        self.workload = workload
+        self.history = history
+        if replica_id is None:
+            replica_id = cluster.node_ids[client_id % len(cluster.node_ids)]
+        self.replica_id = replica_id
+        self.request_latency = request_latency
+        self.results: List[OperationResult] = []
+        self.issued = 0
+        self.completed = 0
+        self.aborted = 0
+
+    # ------------------------------------------------------------ bookkeeping
+    def _issue(self, op: Operation) -> None:
+        self.issued += 1
+        start = self.cluster.sim.now
+        if self.history is not None:
+            self.history.invoke(op, start)
+        if self.request_latency > 0:
+            self.cluster.sim.schedule(self.request_latency, self._submit, op, start)
+        else:
+            self._submit(op, start)
+
+    def _submit(self, op: Operation, start: float) -> None:
+        replica = self.cluster.replica(self.replica_id)
+        replica.submit(op, lambda o, status, value, _start=start: self._record(o, status, value, _start))
+
+    def _record(self, op: Operation, status: OpStatus, value: Value, start: float) -> None:
+        end = self.cluster.sim.now + self.request_latency
+        if self.history is not None:
+            self.history.respond(op, end, status, value)
+        self.completed += 1
+        if status is OpStatus.ABORTED:
+            self.aborted += 1
+        self.results.append(
+            OperationResult(
+                op=op,
+                status=status,
+                value=value,
+                start_time=start,
+                end_time=end,
+                served_by=self.replica_id,
+            )
+        )
+        if self.request_latency > 0:
+            self.cluster.sim.schedule(self.request_latency, self.on_complete, op, status, value)
+        else:
+            self.on_complete(op, status, value)
+
+    def on_complete(self, op: Operation, status: OpStatus, value: Value) -> None:
+        """Hook for subclasses (e.g. to issue the next closed-loop request)."""
+
+
+class ClosedLoopClient(ClientSession):
+    """A closed-loop session: one outstanding request at a time.
+
+    Args:
+        max_ops: Total operations to issue before the session stops.
+        think_time: Simulated delay between a completion and the next issue.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        cluster: Cluster,
+        workload: WorkloadMix,
+        max_ops: int,
+        think_time: float = 0.0,
+        replica_id: Optional[NodeId] = None,
+        history: Optional[History] = None,
+        request_latency: float = DEFAULT_REQUEST_LATENCY,
+    ) -> None:
+        super().__init__(client_id, cluster, workload, replica_id, history, request_latency)
+        self.max_ops = max_ops
+        self.think_time = think_time
+        self._started = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the session has completed all of its operations."""
+        return self.completed >= self.max_ops
+
+    def start(self) -> None:
+        """Begin issuing requests (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.cluster.sim.call_soon(self._issue_next)
+
+    def _issue_next(self) -> None:
+        if self.issued >= self.max_ops:
+            return
+        self._issue(self.workload.next_operation(self.client_id))
+
+    def on_complete(self, op: Operation, status: OpStatus, value: Value) -> None:
+        if self.issued >= self.max_ops:
+            return
+        if self.think_time > 0:
+            self.cluster.sim.schedule(self.think_time, self._issue_next)
+        else:
+            self.cluster.sim.call_soon(self._issue_next)
+
+
+class OpenLoopClient(ClientSession):
+    """An open-loop session: Poisson arrivals at a fixed rate.
+
+    Args:
+        rate: Mean request arrival rate in operations per simulated second.
+        max_ops: Total operations to issue.
+        rng: Random stream for inter-arrival sampling.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        cluster: Cluster,
+        workload: WorkloadMix,
+        rate: float,
+        max_ops: int,
+        replica_id: Optional[NodeId] = None,
+        history: Optional[History] = None,
+        rng: Optional[random.Random] = None,
+        request_latency: float = DEFAULT_REQUEST_LATENCY,
+    ) -> None:
+        super().__init__(client_id, cluster, workload, replica_id, history, request_latency)
+        self.rate = rate
+        self.max_ops = max_ops
+        self._rng = rng or random.Random(client_id)
+        self._started = False
+
+    @property
+    def done(self) -> bool:
+        """Whether every issued operation has completed."""
+        return self.completed >= self.max_ops
+
+    def start(self) -> None:
+        """Begin issuing requests (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.cluster.sim.call_soon(self._arrival)
+
+    def _arrival(self) -> None:
+        if self.issued >= self.max_ops:
+            return
+        self._issue(self.workload.next_operation(self.client_id))
+        gap = self._rng.expovariate(self.rate)
+        self.cluster.sim.schedule(gap, self._arrival)
+
+
+def run_clients(
+    cluster: Cluster,
+    clients: List[ClientSession],
+    max_time: float = 60.0,
+    check_interval: float = 2e-4,
+) -> float:
+    """Start every client and run the simulation until all are done.
+
+    Returns:
+        The simulated completion time.
+    """
+    for client in clients:
+        client.start()  # type: ignore[attr-defined]
+    return cluster.run_until(
+        lambda: all(getattr(c, "done", True) for c in clients),
+        check_interval=check_interval,
+        max_time=max_time,
+    )

@@ -1,0 +1,194 @@
+"""Cluster assembly.
+
+A :class:`Cluster` wires together everything a deployment needs: the
+simulator, the network, one replica per node running the selected protocol,
+optionally the reliable-membership service, and the initial dataset. The
+benchmark harness, the examples and most integration tests go through this
+class rather than assembling pieces by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Type
+
+from repro.core.config import HermesConfig
+from repro.core.replica import HermesReplica
+from repro.errors import ConfigurationError
+from repro.kvs.store import KeyValueStore
+from repro.membership.service import MembershipConfig, MembershipService
+from repro.membership.view import MembershipView
+from repro.protocols.base import ReplicaConfig, ReplicaNode, protocol_registry
+from repro.protocols.derecho import DerechoConfig, DerechoReplica
+from repro.rpc.batching import BatchingConfig
+from repro.rpc.flow_control import CreditConfig
+from repro.rpc.wings import WingsTransport
+from repro.sim.clock import LooselySynchronizedClock
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import ServiceTimeModel
+from repro.sim.rng import SeededRNG
+from repro.sim.trace import Tracer
+from repro.types import Key, NodeId, Value
+
+
+@dataclass
+class ClusterConfig:
+    """Configuration of a replicated deployment.
+
+    Attributes:
+        protocol: Registry name of the protocol to deploy (``"hermes"``,
+            ``"craq"``, ``"cr"``, ``"zab"``, ``"derecho"``).
+        num_replicas: Replication degree (the paper evaluates 3, 5 and 7).
+        seed: Root seed for every random stream in the deployment.
+        network: Network fabric configuration.
+        service_model: Per-node CPU model.
+        replica: Shared replica configuration (key/value sizes, clocks).
+        hermes: Hermes-specific configuration (ignored by other protocols).
+        derecho: Derecho-specific configuration (ignored by other protocols).
+        use_wings: Whether replicas communicate through the Wings batching
+            transport instead of one-packet-per-message sends.
+        wings_batching: Batching parameters when Wings is enabled.
+        wings_credits: Flow-control parameters when Wings is enabled
+            (``None`` disables flow control).
+        run_membership_service: Whether to start the RM service (needed for
+            failure/reconfiguration experiments; unnecessary overhead
+            otherwise).
+        membership: RM service configuration.
+        enable_tracing: Whether replicas record trace events.
+    """
+
+    protocol: str = "hermes"
+    num_replicas: int = 5
+    seed: int = 1
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    service_model: ServiceTimeModel = field(default_factory=ServiceTimeModel)
+    replica: ReplicaConfig = field(default_factory=ReplicaConfig)
+    hermes: HermesConfig = field(default_factory=HermesConfig)
+    derecho: DerechoConfig = field(default_factory=DerechoConfig)
+    use_wings: bool = False
+    wings_batching: BatchingConfig = field(default_factory=BatchingConfig)
+    wings_credits: Optional[CreditConfig] = None
+    run_membership_service: bool = False
+    membership: MembershipConfig = field(default_factory=MembershipConfig)
+    enable_tracing: bool = False
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` for invalid settings."""
+        if self.num_replicas < 1:
+            raise ConfigurationError("num_replicas must be >= 1")
+        if self.protocol not in protocol_registry():
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; known: {sorted(protocol_registry())}"
+            )
+        self.network.validate()
+        self.service_model.validate()
+        self.replica.validate()
+        self.hermes.validate()
+        self.derecho.validate()
+
+
+class Cluster:
+    """A running replicated deployment over the simulated substrate."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None, **overrides: Any) -> None:
+        if config is None:
+            config = ClusterConfig(**overrides)
+        elif overrides:
+            raise ConfigurationError("pass either a ClusterConfig or keyword overrides, not both")
+        config.validate()
+        self.config = config
+        self.rng = SeededRNG(config.seed)
+        self.sim = Simulator()
+        self.network = Network(self.sim, config.network, rng=self.rng.stream("network"))
+        self.tracer = Tracer(enabled=config.enable_tracing)
+        self.view = MembershipView.initial(range(config.num_replicas))
+        self.replicas: Dict[NodeId, ReplicaNode] = {}
+        self._build_replicas()
+        self.membership_service: Optional[MembershipService] = None
+        if config.run_membership_service:
+            self.membership_service = MembershipService(
+                sim=self.sim,
+                network=self.network,
+                initial_view=self.view,
+                config=config.membership,
+            )
+            self.membership_service.start()
+
+    # -------------------------------------------------------------- assembly
+    def _replica_class(self) -> Type[ReplicaNode]:
+        return protocol_registry()[self.config.protocol]
+
+    def _build_replicas(self) -> None:
+        cls = self._replica_class()
+        clock_rng = self.rng.stream("clocks")
+        for node_id in range(self.config.num_replicas):
+            kwargs: Dict[str, Any] = {}
+            if cls is HermesReplica:
+                kwargs["hermes_config"] = self.config.hermes
+            if cls is DerechoReplica:
+                kwargs["derecho_config"] = self.config.derecho
+            replica = cls(
+                node_id,
+                self.sim,
+                self.network,
+                self.view,
+                config=self.config.replica,
+                store=KeyValueStore(track_index=self.config.replica.track_kvs_index),
+                service_model=self.config.service_model,
+                tracer=self.tracer,
+                clock=LooselySynchronizedClock(self.config.replica.clock, rng=clock_rng),
+                **kwargs,
+            )
+            if self.config.use_wings:
+                replica.transport = WingsTransport(
+                    node=replica,
+                    peers=[n for n in range(self.config.num_replicas) if n != node_id],
+                    batching=self.config.wings_batching,
+                    credits=self.config.wings_credits,
+                )
+            self.replicas[node_id] = replica
+
+    # --------------------------------------------------------------- access
+    @property
+    def node_ids(self) -> List[NodeId]:
+        """All replica node ids."""
+        return sorted(self.replicas)
+
+    def replica(self, node_id: NodeId) -> ReplicaNode:
+        """The replica with the given node id."""
+        return self.replicas[node_id]
+
+    def live_replicas(self) -> List[ReplicaNode]:
+        """Replicas that have not crashed."""
+        return [r for r in self.replicas.values() if not r.crashed]
+
+    # -------------------------------------------------------------- dataset
+    def preload(self, dataset: Dict[Key, Value]) -> None:
+        """Install the initial dataset on every replica (no replication traffic)."""
+        for replica in self.replicas.values():
+            for key, value in dataset.items():
+                replica.preload(key, value)
+
+    # --------------------------------------------------------------- faults
+    def crash(self, node_id: NodeId) -> None:
+        """Crash a replica immediately."""
+        self.replicas[node_id].crash()
+
+    def crash_at(self, node_id: NodeId, time: float) -> None:
+        """Schedule a replica crash at an absolute simulated time."""
+        self.sim.schedule_at(time, self.crash, node_id)
+
+    # --------------------------------------------------------------- running
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation (thin wrapper over the simulator)."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def run_until(self, predicate, check_interval: float = 1e-4, max_time: Optional[float] = None) -> float:
+        """Run until a predicate holds (thin wrapper over the simulator)."""
+        return self.sim.run_until(predicate, check_interval=check_interval, max_time=max_time)
+
+    # ------------------------------------------------------------ statistics
+    def total_stat(self, attribute: str) -> int:
+        """Sum an integer statistic attribute across all replicas."""
+        return sum(getattr(replica, attribute, 0) for replica in self.replicas.values())

@@ -1,0 +1,107 @@
+"""Failure injection.
+
+Experiments that exercise fault tolerance (Figure 9, the recovery tests, the
+linearizability-under-faults tests) describe failures declaratively as a list
+of :class:`FailureEvent` records and hand them to a :class:`FailureInjector`,
+which schedules them on the cluster's simulator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ConfigurationError
+from repro.sim.network import Partition
+from repro.types import NodeId
+
+
+class FailureKind(enum.Enum):
+    """Kinds of injectable faults."""
+
+    CRASH = "crash"
+    RECOVER = "recover"
+    PARTITION = "partition"
+    HEAL_PARTITION = "heal_partition"
+    SET_LOSS_RATE = "set_loss_rate"
+
+
+@dataclass
+class FailureEvent:
+    """One scheduled fault.
+
+    Attributes:
+        time: Absolute simulated time at which the fault is applied.
+        kind: What happens.
+        node: Target node for crash/recover events.
+        groups: Partition groups for partition events.
+        loss_rate: New message-loss probability for loss-rate events.
+    """
+
+    time: float
+    kind: FailureKind
+    node: Optional[NodeId] = None
+    groups: Optional[Sequence[Sequence[NodeId]]] = None
+    loss_rate: Optional[float] = None
+
+    @classmethod
+    def crash(cls, time: float, node: NodeId) -> "FailureEvent":
+        """Crash ``node`` at ``time``."""
+        return cls(time=time, kind=FailureKind.CRASH, node=node)
+
+    @classmethod
+    def recover(cls, time: float, node: NodeId) -> "FailureEvent":
+        """Recover ``node`` at ``time`` (clears the crashed flag)."""
+        return cls(time=time, kind=FailureKind.RECOVER, node=node)
+
+    @classmethod
+    def partition(cls, time: float, *groups: Sequence[NodeId]) -> "FailureEvent":
+        """Partition the network into the given groups at ``time``."""
+        return cls(time=time, kind=FailureKind.PARTITION, groups=list(groups))
+
+    @classmethod
+    def heal(cls, time: float) -> "FailureEvent":
+        """Remove any partition at ``time``."""
+        return cls(time=time, kind=FailureKind.HEAL_PARTITION)
+
+    @classmethod
+    def message_loss(cls, time: float, loss_rate: float) -> "FailureEvent":
+        """Change the network's message-loss probability at ``time``."""
+        return cls(time=time, kind=FailureKind.SET_LOSS_RATE, loss_rate=loss_rate)
+
+
+class FailureInjector:
+    """Schedules a list of failure events onto a cluster."""
+
+    def __init__(self, cluster: Cluster, events: Iterable[FailureEvent]) -> None:
+        self.cluster = cluster
+        self.events: List[FailureEvent] = sorted(events, key=lambda e: e.time)
+        self.applied: List[FailureEvent] = []
+
+    def arm(self) -> None:
+        """Schedule every event on the cluster's simulator."""
+        for event in self.events:
+            self.cluster.sim.schedule_at(event.time, self._apply, event)
+
+    def _apply(self, event: FailureEvent) -> None:
+        if event.kind is FailureKind.CRASH:
+            if event.node is None:
+                raise ConfigurationError("crash event requires a node")
+            self.cluster.crash(event.node)
+        elif event.kind is FailureKind.RECOVER:
+            if event.node is None:
+                raise ConfigurationError("recover event requires a node")
+            self.cluster.replicas[event.node].recover()
+        elif event.kind is FailureKind.PARTITION:
+            if not event.groups:
+                raise ConfigurationError("partition event requires groups")
+            self.cluster.network.set_partition(Partition.split(*event.groups))
+        elif event.kind is FailureKind.HEAL_PARTITION:
+            self.cluster.network.set_partition(None)
+        elif event.kind is FailureKind.SET_LOSS_RATE:
+            if event.loss_rate is None:
+                raise ConfigurationError("loss-rate event requires loss_rate")
+            self.cluster.network.config.loss_rate = event.loss_rate
+        self.applied.append(event)

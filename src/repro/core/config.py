@@ -1,0 +1,65 @@
+"""Hermes protocol configuration.
+
+Collects the tunables of the protocol itself: the message-loss timeout (mlt)
+driving retransmissions and write replays, the three optimizations of §3.3,
+and RMW support. The shared replica-level settings (key/value sizes, clock
+parameters) live in :class:`repro.protocols.base.ReplicaConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import ReplicaConfig
+
+
+@dataclass
+class HermesConfig:
+    """Configuration of a :class:`~repro.core.replica.HermesReplica`.
+
+    Attributes:
+        replica: Shared replica settings (key/value sizes, clocks).
+        mlt: Message-loss timeout in seconds. Every write is expected to
+            complete within this budget; exceeding it triggers INV
+            retransmission at the coordinator or a write replay at a follower
+            (paper §3.4). Should comfortably exceed a round trip plus
+            queueing; the default is generous for the simulated fabric.
+        skip_unneeded_vals: Optimization O1 — a coordinator that discovers a
+            higher-timestamped concurrent write (key in Trans) does not
+            broadcast VALs.
+        virtual_ids_per_node: Optimization O2 — number of virtual node ids
+            per physical node used for fair tie-breaking. 1 disables O2.
+        broadcast_acks: Optimization O3 — followers broadcast ACKs to all
+            replicas so they can unblock reads after the ACKs arrive without
+            waiting for the VAL. Disabled by default, matching the paper's
+            evaluated HermesKV configuration (§5.1).
+        enable_rmw: Whether RMW operations are accepted (§3.6). When enabled,
+            plain writes advance the timestamp version by 2 and RMWs by 1 so
+            writes always win races against RMWs.
+    """
+
+    replica: ReplicaConfig = field(default_factory=ReplicaConfig)
+    mlt: float = 400e-6
+    skip_unneeded_vals: bool = True
+    virtual_ids_per_node: int = 1
+    broadcast_acks: bool = False
+    enable_rmw: bool = True
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` for invalid settings."""
+        self.replica.validate()
+        if self.mlt <= 0:
+            raise ConfigurationError("mlt must be positive")
+        if self.virtual_ids_per_node < 1:
+            raise ConfigurationError("virtual_ids_per_node must be >= 1")
+
+    @property
+    def write_version_increment(self) -> int:
+        """Version increment used by plain writes (2 when RMWs are enabled)."""
+        return 2 if self.enable_rmw else 1
+
+    @property
+    def rmw_version_increment(self) -> int:
+        """Version increment used by RMWs."""
+        return 1

@@ -1,0 +1,87 @@
+"""Hermes wire messages (paper Figure 3).
+
+Three message kinds implement the protocol:
+
+* :class:`Inv` — invalidation, carrying the key, the write's logical
+  timestamp, the new value (early value propagation, required for safe
+  replays), the RMW flag and the sender's membership epoch.
+* :class:`Ack` — acknowledgement of an invalidation, echoing the timestamp.
+* :class:`Val` — validation, completing the write at the followers.
+
+Sizes follow the paper's setup (8-byte keys, 32-byte values by default) and
+feed the network's bandwidth model; ACK and VAL messages are small and of
+constant size, which is what makes optimization O3's extra ACK traffic cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.timestamps import TIMESTAMP_BYTES, Timestamp
+from repro.types import Key, Value
+
+#: Size of the epoch tag carried by every Hermes message.
+EPOCH_TAG_BYTES = 4
+
+
+@dataclass(frozen=True)
+class HermesMessage:
+    """Base class for Hermes protocol messages."""
+
+    key: Key
+    ts: Timestamp
+    epoch_id: int
+
+
+@dataclass(frozen=True)
+class Inv(HermesMessage):
+    """Invalidation message: ``INV(key, TS, value)`` plus the RMW flag.
+
+    Attributes:
+        value: The new value being written (early value propagation, §3.1).
+        rmw_flag: True when the update is an RMW (§3.6 metadata rule).
+        key_size: Wire size of the key, used for network accounting.
+        value_size: Wire size of the value.
+    """
+
+    value: Value = None
+    rmw_flag: bool = False
+    key_size: int = 8
+    value_size: int = 32
+
+    @property
+    def size_bytes(self) -> int:
+        """Payload size of the INV on the wire."""
+        return self.key_size + TIMESTAMP_BYTES + EPOCH_TAG_BYTES + 1 + self.value_size
+
+
+@dataclass(frozen=True)
+class Ack(HermesMessage):
+    """Acknowledgement of an invalidation, echoing its timestamp.
+
+    Attributes:
+        acker: Physical node id of the follower sending the ACK. Needed when
+            ACKs are broadcast (optimization O3) so every replica can track
+            which peers have acknowledged.
+        key_size: Wire size of the key.
+    """
+
+    acker: int = -1
+    key_size: int = 8
+
+    @property
+    def size_bytes(self) -> int:
+        """Payload size of the ACK on the wire (small and constant)."""
+        return self.key_size + TIMESTAMP_BYTES + EPOCH_TAG_BYTES + 2
+
+
+@dataclass(frozen=True)
+class Val(HermesMessage):
+    """Validation message completing a write at the followers."""
+
+    key_size: int = 8
+
+    @property
+    def size_bytes(self) -> int:
+        """Payload size of the VAL on the wire (small and constant)."""
+        return self.key_size + TIMESTAMP_BYTES + EPOCH_TAG_BYTES

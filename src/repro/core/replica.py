@@ -1,0 +1,495 @@
+"""The Hermes replica: full protocol implementation (paper §3).
+
+A :class:`HermesReplica` plays both protocol roles simultaneously — it is a
+*coordinator* for updates submitted to it by clients and a *follower* for
+updates coordinated by its peers. The implementation follows the paper's
+transition rules:
+
+* reads are served locally iff the key is Valid (§3.2 Reads);
+* writes invalidate all live replicas, commit once every live replica has
+  acknowledged, then validate (CTS/CINV/CACK/CVAL and FINV/FACK/FVAL);
+* concurrent writes to the same key never abort: logical timestamps order
+  them at every replica (§3.1);
+* RMWs are conflicting and may abort (§3.6);
+* message loss and node failures are handled with INV retransmissions and
+  safely replayable writes driven by the mlt timer (§3.4);
+* membership reconfiguration (m-update) unblocks writes waiting on failed
+  nodes and replays pending RMWs (§3.4, §3.6 CRMW-replay).
+
+Optimizations O1 (skip unnecessary VALs), O2 (virtual node ids) and O3
+(broadcast ACKs to cut follower blocking latency) are configurable through
+:class:`~repro.core.config.HermesConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.config import HermesConfig
+from repro.core.messages import Ack, Inv, Val
+from repro.core.pending import PendingUpdate, StalledRequest
+from repro.core.state import KeyMeta, KeyState
+from repro.core.timestamps import Timestamp, VirtualNodeIds
+from repro.kvs.store import ValueRecord
+from repro.membership.view import MembershipView
+from repro.protocols.base import (
+    ClientCallback,
+    ProtocolFeatures,
+    ReplicaNode,
+    register_protocol,
+)
+from repro.types import Key, NodeId, Operation, OpStatus, OpType, Value
+
+
+class HermesReplica(ReplicaNode):
+    """A replica running the Hermes protocol."""
+
+    def __init__(self, *args: Any, hermes_config: Optional[HermesConfig] = None, **kwargs: Any):
+        self.hermes_config = hermes_config or HermesConfig()
+        self.hermes_config.validate()
+        kwargs.setdefault("config", self.hermes_config.replica)
+        super().__init__(*args, **kwargs)
+        self._vids = VirtualNodeIds(
+            node_id=self.node_id,
+            num_nodes=max(self.view.size, self.node_id + 1),
+            ids_per_node=self.hermes_config.virtual_ids_per_node,
+        )
+        #: Updates this replica is currently coordinating, keyed by key.
+        self._pending: Dict[Key, PendingUpdate] = {}
+        #: Client requests parked on a non-Valid key, keyed by key.
+        self._stalled: Dict[Key, List[StalledRequest]] = {}
+        #: Optimization O3 bookkeeping: acks observed per (key, timestamp).
+        self._observed_acks: Dict[Tuple[Key, Timestamp], Set[NodeId]] = {}
+        # Statistics exposed to the analysis layer and tests.
+        self.writes_committed = 0
+        self.rmws_committed = 0
+        self.rmws_aborted = 0
+        self.replays_started = 0
+        self.inv_retransmissions = 0
+        self.vals_skipped = 0
+        self.epoch_drops = 0
+        self.stall_events = 0
+
+    # ------------------------------------------------------------- features
+    @classmethod
+    def features(cls) -> ProtocolFeatures:
+        """Hermes' row of the paper's Table 2."""
+        return ProtocolFeatures(
+            name="Hermes",
+            consistency="linearizable",
+            local_reads=True,
+            leases="one per RM",
+            inter_key_concurrent_writes=True,
+            decentralized_writes=True,
+            write_latency_rtt="1",
+        )
+
+    # ------------------------------------------------------------ client ops
+    def handle_client_op(self, op: Operation, callback: ClientCallback) -> None:
+        """Dispatch a client read / write / RMW."""
+        if op.op_type is OpType.READ:
+            self._handle_read(op, callback)
+        elif op.op_type is OpType.WRITE:
+            self._handle_write(op, callback)
+        elif op.op_type is OpType.RMW:
+            self._handle_rmw(op, callback)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unsupported operation type {op.op_type}")
+
+    def _handle_read(self, op: Operation, callback: ClientCallback) -> None:
+        record, meta = self._record(op.key)
+        if meta.readable:
+            self.reads_served_locally += 1
+            self.complete(op, callback, OpStatus.OK, record.value)
+            return
+        self._stall(op, callback, meta)
+
+    def _handle_write(self, op: Operation, callback: ClientCallback) -> None:
+        record, meta = self._record(op.key)
+        if meta.state is not KeyState.VALID or op.key in self._pending:
+            self._stall(op, callback, meta)
+            return
+        self._start_update(op.key, op.value, is_rmw=False, op=op, callback=callback)
+
+    def _handle_rmw(self, op: Operation, callback: ClientCallback) -> None:
+        if not self.hermes_config.enable_rmw:
+            # Without RMW support the operation degrades to a plain write.
+            self._handle_write(op, callback)
+            return
+        record, meta = self._record(op.key)
+        if meta.state is not KeyState.VALID or op.key in self._pending:
+            self._stall(op, callback, meta)
+            return
+        if op.compare is not None and record.value != op.compare:
+            # Compare failed: linearizable read of the current value, no update.
+            self.reads_served_locally += 1
+            self.complete(op, callback, OpStatus.OK, record.value)
+            return
+        self._start_update(op.key, op.value, is_rmw=True, op=op, callback=callback)
+
+    # ------------------------------------------------------ coordinator side
+    def _start_update(
+        self,
+        key: Key,
+        value: Value,
+        is_rmw: bool,
+        op: Optional[Operation],
+        callback: Optional[ClientCallback],
+    ) -> None:
+        """CTS + CINV: assign a timestamp, invalidate all replicas."""
+        record, meta = self._record(key)
+        increment = (
+            self.hermes_config.rmw_version_increment
+            if is_rmw
+            else self.hermes_config.write_version_increment
+        )
+        ts = meta.timestamp.increment(cid=self._vids.pick(), by=increment)
+        record.value = value
+        meta.timestamp = ts
+        meta.rmw_flag = is_rmw
+        meta.last_writer = self.node_id
+        meta.transition(KeyState.WRITE)
+        pending = PendingUpdate(
+            key=key, ts=ts, value=value, is_rmw=is_rmw, is_replay=False, op=op, callback=callback
+        )
+        self._pending[key] = pending
+        self.tracer.record(self.sim.now, self.node_id, "write-start", key=key, ts=ts)
+        self._broadcast_inv(pending)
+
+    def _start_replay(self, key: Key) -> None:
+        """Take on the coordinator role to replay an incomplete write (§3.4)."""
+        record, meta = self._record(key)
+        if key in self._pending or meta.state is not KeyState.INVALID:
+            return
+        meta.transition(KeyState.REPLAY)
+        pending = PendingUpdate(
+            key=key,
+            ts=meta.timestamp,
+            value=record.value,
+            is_rmw=meta.rmw_flag,
+            is_replay=True,
+        )
+        self._pending[key] = pending
+        self.replays_started += 1
+        self.tracer.record(self.sim.now, self.node_id, "replay-start", key=key, ts=meta.timestamp)
+        self._broadcast_inv(pending)
+
+    def _broadcast_inv(self, pending: PendingUpdate) -> None:
+        """Broadcast the INV for a pending update and arm the mlt timer."""
+        pending.inv_broadcasts += 1
+        inv = Inv(
+            key=pending.key,
+            ts=pending.ts,
+            epoch_id=self.view.epoch_id,
+            value=pending.value,
+            rmw_flag=pending.is_rmw,
+            key_size=self.config.key_size,
+            value_size=self.value_size_of(pending.value),
+        )
+        self.transport.broadcast(self.peers(), inv, inv.size_bytes)
+        pending.cancel_timer()
+        pending.mlt_timer = self.set_timer(
+            self.hermes_config.mlt, self._coordinator_mlt_expired, pending.key, pending.ts
+        )
+        # A single-replica membership (or one where everyone already acked)
+        # commits immediately.
+        self._maybe_commit(pending)
+
+    def _coordinator_mlt_expired(self, key: Key, ts: Timestamp) -> None:
+        """Suspect INV/ACK loss: retransmit the invalidation (§3.4)."""
+        pending = self._pending.get(key)
+        if pending is None or pending.ts != ts:
+            return
+        self.inv_retransmissions += 1
+        self._broadcast_inv(pending)
+        self.transport.flush()
+
+    def _expected_ackers(self) -> Set[NodeId]:
+        """Live replicas whose ACK is required before a commit."""
+        return set(self.view.others(self.node_id))
+
+    def _maybe_commit(self, pending: PendingUpdate) -> None:
+        """CACK + CVAL: commit once every live replica has acknowledged."""
+        if not pending.acked_by_all(self._expected_ackers()):
+            return
+        if self._pending.get(pending.key) is not pending:
+            return
+        del self._pending[pending.key]
+        pending.cancel_timer()
+        record, meta = self._record(pending.key)
+
+        if meta.state is KeyState.TRANS:
+            # A concurrent write with a higher timestamp superseded us; the
+            # key stays invalid until that write's VAL arrives (or a replay).
+            meta.transition(KeyState.INVALID)
+            skip_val = self.hermes_config.skip_unneeded_vals
+            if skip_val:
+                self.vals_skipped += 1
+            # Requests parked while we were coordinating now wait on another
+            # coordinator's VAL; arm a replay timer so a lost VAL cannot
+            # stall them forever (§3.4).
+            if self._stalled.get(pending.key):
+                stalled = self._stalled[pending.key][0]
+                if stalled.replay_timer is None or stalled.replay_timer.cancelled:
+                    stalled.replay_timer = self.set_timer(
+                        self.hermes_config.mlt,
+                        self._follower_mlt_expired,
+                        pending.key,
+                        meta.timestamp,
+                    )
+        elif meta.state in (KeyState.WRITE, KeyState.REPLAY):
+            meta.transition(KeyState.VALID)
+            skip_val = False
+        else:
+            # The key was already validated (e.g. our own write replayed and
+            # validated by a peer); nothing further to broadcast.
+            skip_val = True
+
+        self._notify_client(pending, OpStatus.OK)
+        if pending.is_rmw:
+            self.rmws_committed += 1
+        elif not pending.is_replay:
+            self.writes_committed += 1
+        self.tracer.record(
+            self.sim.now, self.node_id, "commit", key=pending.key, ts=pending.ts,
+            replay=pending.is_replay,
+        )
+
+        if not skip_val:
+            val = Val(
+                key=pending.key,
+                ts=pending.ts,
+                epoch_id=self.view.epoch_id,
+                key_size=self.config.key_size,
+            )
+            self.transport.broadcast(self.peers(), val, val.size_bytes)
+        self._drain_stalled(pending.key)
+
+    def _notify_client(self, pending: PendingUpdate, status: OpStatus) -> None:
+        if pending.op is None or pending.callback is None or pending.client_notified:
+            return
+        pending.client_notified = True
+        self.complete(pending.op, pending.callback, status, pending.value)
+
+    def _abort_rmw(self, pending: PendingUpdate) -> None:
+        """CRMW-abort: a concurrent higher-timestamped update wins (§3.6)."""
+        if self._pending.get(pending.key) is pending:
+            del self._pending[pending.key]
+        pending.cancel_timer()
+        self.rmws_aborted += 1
+        self._notify_client(pending, OpStatus.ABORTED)
+        self.tracer.record(self.sim.now, self.node_id, "rmw-abort", key=pending.key, ts=pending.ts)
+
+    # -------------------------------------------------------- follower side
+    def handle_protocol_message(self, src: NodeId, message: Any) -> None:
+        """Dispatch INV / ACK / VAL messages."""
+        if isinstance(message, Inv):
+            self._on_inv(src, message)
+        elif isinstance(message, Ack):
+            self._on_ack(src, message)
+        elif isinstance(message, Val):
+            self._on_val(src, message)
+        # Unknown message types are ignored (forward compatibility).
+
+    def _on_inv(self, src: NodeId, inv: Inv) -> None:
+        if inv.epoch_id != self.view.epoch_id:
+            self.epoch_drops += 1
+            return
+        record, meta = self._record(inv.key)
+        pending = self._pending.get(inv.key)
+
+        # FRMW-ACK: an RMW invalidation that is older than our local state is
+        # answered with an INV describing the local state instead of an ACK.
+        if inv.rmw_flag and inv.ts < meta.timestamp:
+            reply = Inv(
+                key=inv.key,
+                ts=meta.timestamp,
+                epoch_id=self.view.epoch_id,
+                value=record.value,
+                rmw_flag=meta.rmw_flag,
+                key_size=self.config.key_size,
+                value_size=self.value_size_of(record.value),
+            )
+            self.transport.send(src, reply, reply.size_bytes)
+            return
+
+        if inv.ts > meta.timestamp:
+            # FINV: adopt the newer value and timestamp, move to Invalid
+            # (Trans if we were coordinating our own update for this key).
+            record.value = inv.value
+            meta.timestamp = inv.ts
+            meta.rmw_flag = inv.rmw_flag
+            meta.last_writer = self._vids.owner_of(inv.ts.cid)
+            if meta.state in (KeyState.WRITE, KeyState.REPLAY):
+                meta.transition(KeyState.TRANS)
+                if pending is not None:
+                    pending.superseded = True
+                    if pending.is_rmw:
+                        self._abort_rmw(pending)
+            elif meta.state is KeyState.VALID:
+                meta.transition(KeyState.INVALID)
+            else:
+                # INVALID or TRANS stay where they are (timestamp updated).
+                meta.transition(meta.state)
+
+        # FACK: always acknowledge with the message's timestamp.
+        ack = Ack(
+            key=inv.key,
+            ts=inv.ts,
+            epoch_id=self.view.epoch_id,
+            acker=self.node_id,
+            key_size=self.config.key_size,
+        )
+        if self.hermes_config.broadcast_acks:
+            self.transport.broadcast(self.peers(), ack, ack.size_bytes)
+            self._record_observed_ack(inv.key, inv.ts, self.node_id)
+        else:
+            self.transport.send(src, ack, ack.size_bytes)
+
+    def _on_ack(self, src: NodeId, ack: Ack) -> None:
+        if ack.epoch_id != self.view.epoch_id:
+            self.epoch_drops += 1
+            return
+        acker = ack.acker if ack.acker >= 0 else src
+        if self.hermes_config.broadcast_acks:
+            self._record_observed_ack(ack.key, ack.ts, acker)
+        pending = self._pending.get(ack.key)
+        if pending is None or ack.ts != pending.ts:
+            return
+        pending.acks.add(acker)
+        self._maybe_commit(pending)
+
+    def _on_val(self, src: NodeId, val: Val) -> None:
+        if val.epoch_id != self.view.epoch_id:
+            self.epoch_drops += 1
+            return
+        record, meta = self._record(val.key)
+        if val.ts != meta.timestamp:
+            # Stale or reordered validation; ignore (FVAL rule).
+            return
+        if meta.state in (KeyState.INVALID, KeyState.TRANS):
+            meta.transition(KeyState.VALID)
+            self._observed_acks.pop((val.key, val.ts), None)
+            self._drain_stalled(val.key)
+        elif meta.state in (KeyState.WRITE, KeyState.REPLAY):
+            # Another replica replayed our in-flight update to completion.
+            pending = self._pending.get(val.key)
+            meta.transition(KeyState.VALID)
+            if pending is not None and pending.ts == val.ts:
+                del self._pending[val.key]
+                pending.cancel_timer()
+                self._notify_client(pending, OpStatus.OK)
+            self._drain_stalled(val.key)
+
+    # -------------------------------------------------- optimization O3 path
+    def _record_observed_ack(self, key: Key, ts: Timestamp, acker: NodeId) -> None:
+        """Track broadcast ACKs so followers can validate before the VAL."""
+        acks = self._observed_acks.setdefault((key, ts), set())
+        acks.add(acker)
+        record = self.store.try_get_record(key)
+        if record is None or record.meta is None:
+            return
+        meta: KeyMeta = record.meta
+        if meta.timestamp != ts or meta.state is not KeyState.INVALID:
+            return
+        coordinator = self._vids.owner_of(ts.cid)
+        required = set(self.view.members) - {coordinator}
+        if required.issubset(acks):
+            meta.transition(KeyState.VALID)
+            self._observed_acks.pop((key, ts), None)
+            self._drain_stalled(key)
+
+    # ------------------------------------------------------ stalled requests
+    def _stall(self, op: Operation, callback: ClientCallback, meta: KeyMeta) -> None:
+        """Park a request on a non-Valid key; arm the replay timer if Invalid."""
+        stalled = StalledRequest(op=op, callback=callback, stalled_at=self.sim.now)
+        self._stalled.setdefault(op.key, []).append(stalled)
+        self.stall_events += 1
+        if meta.state is KeyState.INVALID:
+            stalled.replay_timer = self.set_timer(
+                self.hermes_config.mlt, self._follower_mlt_expired, op.key, meta.timestamp
+            )
+
+    def _follower_mlt_expired(self, key: Key, ts_at_stall: Timestamp) -> None:
+        """Suspect a lost VAL: trigger a write replay if nothing changed (§3.4)."""
+        record = self.store.try_get_record(key)
+        if record is None or record.meta is None or key not in self._stalled:
+            return
+        meta: KeyMeta = record.meta
+        if meta.state is KeyState.INVALID and meta.timestamp == ts_at_stall:
+            self._start_replay(key)
+        elif meta.state is KeyState.INVALID:
+            # The timestamp moved on (a newer write invalidated us again);
+            # re-arm the timer against the new timestamp.
+            for stalled in self._stalled.get(key, ()):
+                if stalled.replay_timer is None or stalled.replay_timer.cancelled:
+                    stalled.replay_timer = self.set_timer(
+                        self.hermes_config.mlt, self._follower_mlt_expired, key, meta.timestamp
+                    )
+                    break
+        self.transport.flush()
+
+    def _drain_stalled(self, key: Key) -> None:
+        """Re-examine requests parked on ``key`` after a state change."""
+        record = self.store.try_get_record(key)
+        if record is None or record.meta is None or not record.meta.readable:
+            return
+        waiting = self._stalled.pop(key, None)
+        if not waiting:
+            return
+        for stalled in waiting:
+            stalled.cancel_timer()
+        for stalled in waiting:
+            self.handle_client_op(stalled.op, stalled.callback)
+
+    # --------------------------------------------------- membership changes
+    def on_view_change(self, view: MembershipView) -> None:
+        """React to an m-update: unblock or replay pending updates (§3.4, §3.6)."""
+        for pending in list(self._pending.values()):
+            if pending.is_rmw:
+                # CRMW-replay: reset gathered ACKs and re-invalidate to make
+                # sure the RMW is not conflicting in the new configuration.
+                pending.acks.clear()
+                self._broadcast_inv(pending)
+            else:
+                # Failed nodes are no longer expected to ACK; commit if the
+                # remaining live replicas have all acknowledged.
+                self._maybe_commit(pending)
+        self.transport.flush()
+
+    # -------------------------------------------------------------- helpers
+    def _record(self, key: Key) -> Tuple[ValueRecord, KeyMeta]:
+        """Fetch (creating if needed) the record and protocol metadata of a key."""
+        record = self.store.try_get_record(key)
+        if record is None:
+            record = self.store.put(key, None, meta=KeyMeta())
+        elif record.meta is None:
+            record.meta = KeyMeta()
+        return record, record.meta
+
+    def key_state(self, key: Key) -> KeyState:
+        """Protocol state of ``key`` at this replica (Valid for unknown keys)."""
+        record = self.store.try_get_record(key)
+        if record is None or record.meta is None:
+            return KeyState.VALID
+        return record.meta.state
+
+    def key_timestamp(self, key: Key) -> Timestamp:
+        """Highest timestamp this replica has observed for ``key``."""
+        record = self.store.try_get_record(key)
+        if record is None or record.meta is None:
+            return Timestamp.ZERO
+        return record.meta.timestamp
+
+    @property
+    def pending_updates(self) -> int:
+        """Number of updates this replica is currently coordinating."""
+        return len(self._pending)
+
+    @property
+    def stalled_requests(self) -> int:
+        """Number of client requests currently parked on non-Valid keys."""
+        return sum(len(v) for v in self._stalled.values())
+
+
+register_protocol("hermes", HermesReplica)

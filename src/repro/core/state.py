@@ -1,0 +1,100 @@
+"""Per-key replica state machine.
+
+Hermes keeps four stable states and one transient state per key (paper §3.2):
+
+* ``VALID`` — the local value is up to date; reads may be served.
+* ``INVALID`` — a write by another coordinator is in progress (or its VAL was
+  lost); reads stall.
+* ``WRITE`` — this replica is coordinating a write to the key.
+* ``REPLAY`` — this replica is replaying a write it learned about via an INV.
+* ``TRANS`` — transient: this replica was coordinating a write (WRITE or
+  REPLAY) but was invalidated by a higher-timestamped concurrent write; used
+  to notify the client of the original write's completion and to suppress
+  unnecessary VALs (optimization O1).
+
+The rules for which transitions are legal live in :data:`ALLOWED_TRANSITIONS`
+and are enforced by :class:`KeyMeta.transition`, which the property-based
+tests drive exhaustively.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set
+
+from repro.core.timestamps import Timestamp
+from repro.errors import InvalidTransition
+
+
+class KeyState(enum.Enum):
+    """Protocol state of a key at one replica."""
+
+    VALID = "valid"
+    INVALID = "invalid"
+    WRITE = "write"
+    REPLAY = "replay"
+    TRANS = "trans"
+
+    @property
+    def readable(self) -> bool:
+        """Whether a linearizable read may be served in this state."""
+        return self is KeyState.VALID
+
+    @property
+    def coordinating(self) -> bool:
+        """Whether this replica is driving an update for the key."""
+        return self in (KeyState.WRITE, KeyState.REPLAY)
+
+
+#: Legal state transitions of the per-key state machine.
+ALLOWED_TRANSITIONS: Dict[KeyState, FrozenSet[KeyState]] = {
+    KeyState.VALID: frozenset({KeyState.INVALID, KeyState.WRITE, KeyState.VALID}),
+    KeyState.INVALID: frozenset(
+        {KeyState.VALID, KeyState.INVALID, KeyState.REPLAY, KeyState.WRITE}
+    ),
+    KeyState.WRITE: frozenset({KeyState.VALID, KeyState.TRANS, KeyState.WRITE, KeyState.INVALID}),
+    KeyState.REPLAY: frozenset({KeyState.VALID, KeyState.TRANS, KeyState.REPLAY, KeyState.INVALID}),
+    KeyState.TRANS: frozenset({KeyState.INVALID, KeyState.VALID, KeyState.TRANS}),
+}
+
+
+@dataclass
+class KeyMeta:
+    """Per-key protocol metadata stored in the replica's KVS record.
+
+    Attributes:
+        state: Current protocol state of the key.
+        timestamp: Highest timestamp seen for the key.
+        rmw_flag: Whether the update that produced ``timestamp`` was an RMW
+            (needed so replays preserve RMW semantics, paper §3.6).
+        last_writer: Physical node id of the coordinator of the last update
+            observed (diagnostics / fairness accounting).
+    """
+
+    state: KeyState = KeyState.VALID
+    timestamp: Timestamp = Timestamp.ZERO
+    rmw_flag: bool = False
+    last_writer: Optional[int] = None
+
+    def transition(self, new_state: KeyState) -> KeyState:
+        """Move to ``new_state``, enforcing the protocol's legal transitions.
+
+        Returns:
+            The previous state.
+
+        Raises:
+            InvalidTransition: if the transition is not in
+                :data:`ALLOWED_TRANSITIONS`.
+        """
+        allowed = ALLOWED_TRANSITIONS[self.state]
+        if new_state not in allowed:
+            raise InvalidTransition(f"illegal transition {self.state.value} -> {new_state.value}")
+        previous = self.state
+        self.state = new_state
+        return previous
+
+    @property
+    def readable(self) -> bool:
+        """Whether a read can be served from this key right now."""
+        return self.state.readable

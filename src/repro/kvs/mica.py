@@ -1,0 +1,148 @@
+"""MICA-style lossy hash index.
+
+MICA (Lim et al., NSDI'14) organizes its index as an array of fixed-size
+buckets of key fingerprints; on bucket overflow the oldest entry is evicted
+(the index is *lossy* — the full key-value log is authoritative). ccKVS and
+HermesKV inherit this structure. The index here models bucket occupancy,
+fingerprint collisions and eviction so that capacity-related behaviour can be
+studied, while :class:`repro.kvs.store.KeyValueStore` remains the
+authoritative mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def fingerprint(key: Hashable, bits: int = 16) -> int:
+    """Return a short fingerprint of ``key`` (as MICA stores in its buckets)."""
+    return hash(key) & ((1 << bits) - 1)
+
+
+@dataclass
+class BucketEntry:
+    """One slot in a bucket: a key fingerprint plus the stored key."""
+
+    fp: int
+    key: Hashable
+    insert_order: int
+
+
+@dataclass
+class Bucket:
+    """A fixed-associativity bucket of index entries."""
+
+    capacity: int
+    entries: List[BucketEntry] = field(default_factory=list)
+
+    def lookup(self, key: Hashable, fp: int) -> Optional[BucketEntry]:
+        """Find the entry for ``key`` (fingerprint pre-filter, then full key)."""
+        for entry in self.entries:
+            if entry.fp == fp and entry.key == key:
+                return entry
+        return None
+
+    def insert(self, entry: BucketEntry) -> Optional[BucketEntry]:
+        """Insert an entry, evicting the oldest one if the bucket is full.
+
+        Returns:
+            The evicted entry, or ``None`` if no eviction was necessary.
+        """
+        evicted = None
+        if len(self.entries) >= self.capacity:
+            oldest_index = min(
+                range(len(self.entries)), key=lambda i: self.entries[i].insert_order
+            )
+            evicted = self.entries.pop(oldest_index)
+        self.entries.append(entry)
+        return evicted
+
+    def remove(self, key: Hashable, fp: int) -> bool:
+        """Remove the entry for ``key``; returns whether it was present."""
+        entry = self.lookup(key, fp)
+        if entry is None:
+            return False
+        self.entries.remove(entry)
+        return True
+
+
+class MicaIndex:
+    """A lossy hash index with power-of-two bucket count.
+
+    Args:
+        num_buckets: Number of buckets; rounded up to a power of two.
+        bucket_capacity: Entries per bucket (MICA uses 7 or 15).
+        fingerprint_bits: Width of stored fingerprints.
+    """
+
+    def __init__(
+        self,
+        num_buckets: int = 1024,
+        bucket_capacity: int = 8,
+        fingerprint_bits: int = 16,
+    ) -> None:
+        if num_buckets < 1:
+            raise ConfigurationError("num_buckets must be positive")
+        if bucket_capacity < 1:
+            raise ConfigurationError("bucket_capacity must be positive")
+        if not 1 <= fingerprint_bits <= 64:
+            raise ConfigurationError("fingerprint_bits must be in [1, 64]")
+        self._mask = self._round_up_pow2(num_buckets) - 1
+        self._buckets: List[Bucket] = [
+            Bucket(capacity=bucket_capacity) for _ in range(self._mask + 1)
+        ]
+        self._fp_bits = fingerprint_bits
+        self._insert_counter = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _round_up_pow2(value: int) -> int:
+        power = 1
+        while power < value:
+            power <<= 1
+        return power
+
+    @property
+    def num_buckets(self) -> int:
+        """Number of buckets in the index."""
+        return self._mask + 1
+
+    def _bucket_for(self, key: Hashable) -> Tuple[Bucket, int]:
+        fp = fingerprint(key, self._fp_bits)
+        index = hash(key) >> 16 & self._mask
+        return self._buckets[index], fp
+
+    def insert(self, key: Hashable) -> Optional[Hashable]:
+        """Insert ``key`` into the index.
+
+        Returns:
+            The key evicted to make room, or ``None``.
+        """
+        bucket, fp = self._bucket_for(key)
+        if bucket.lookup(key, fp) is not None:
+            return None
+        self._insert_counter += 1
+        evicted = bucket.insert(BucketEntry(fp=fp, key=key, insert_order=self._insert_counter))
+        if evicted is None:
+            return None
+        self.evictions += 1
+        return evicted.key
+
+    def contains(self, key: Hashable) -> bool:
+        """Whether ``key`` is currently present in the index."""
+        bucket, fp = self._bucket_for(key)
+        return bucket.lookup(key, fp) is not None
+
+    def remove(self, key: Hashable) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        bucket, fp = self._bucket_for(key)
+        return bucket.remove(key, fp)
+
+    def load_factor(self) -> float:
+        """Fraction of index slots currently occupied."""
+        occupied = sum(len(b.entries) for b in self._buckets)
+        total = sum(b.capacity for b in self._buckets)
+        return occupied / total if total else 0.0

@@ -1,0 +1,174 @@
+"""Versioned in-memory key-value store.
+
+This is the authoritative per-replica datastore used by every protocol in
+the library. Each record carries the value, an opaque per-protocol metadata
+slot (Hermes stores its per-key timestamp and state here; CRAQ stores its
+clean/dirty version list; ZAB stores the last applied zxid), and a seqlock
+modelling ccKVS's CRCW access discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Iterator, Optional, Tuple
+
+from repro.errors import CapacityExceeded, KeyNotFound
+from repro.kvs.mica import MicaIndex
+from repro.kvs.seqlock import SeqLock
+from repro.types import Key, Value
+
+
+@dataclass
+class ValueRecord:
+    """A stored record: value plus protocol metadata.
+
+    Attributes:
+        value: The application value.
+        meta: Protocol-specific metadata (opaque to the store).
+        version: Monotonic store-level version, incremented on every put.
+        lock: Seqlock guarding the record.
+    """
+
+    value: Value
+    meta: Any = None
+    version: int = 0
+    lock: SeqLock = field(default_factory=SeqLock)
+
+
+class KeyValueStore:
+    """A replica-local key-value store.
+
+    Args:
+        capacity: Optional maximum number of keys; exceeding it raises
+            :class:`CapacityExceeded`. ``None`` means unbounded.
+        track_index: Whether to maintain a MICA-style index alongside the
+            dict (adds realism for capacity studies at a small CPU cost).
+    """
+
+    def __init__(self, capacity: Optional[int] = None, track_index: bool = False) -> None:
+        self._records: Dict[Key, ValueRecord] = {}
+        self._capacity = capacity
+        self._index: Optional[MicaIndex] = None
+        if track_index:
+            buckets = max(64, (capacity or 4096) // 4)
+            self._index = MicaIndex(num_buckets=buckets)
+        self.reads = 0
+        self.writes = 0
+
+    # ---------------------------------------------------------------- basic
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._records
+
+    def keys(self) -> Iterator[Key]:
+        """Iterate over the stored keys."""
+        return iter(self._records.keys())
+
+    def items(self) -> Iterator[Tuple[Key, ValueRecord]]:
+        """Iterate over ``(key, record)`` pairs."""
+        return iter(self._records.items())
+
+    # ----------------------------------------------------------------- read
+    def get(self, key: Key) -> Value:
+        """Return the value stored for ``key``.
+
+        Raises:
+            KeyNotFound: if the key is not present.
+        """
+        record = self._records.get(key)
+        if record is None:
+            raise KeyNotFound(repr(key))
+        self.reads += 1
+        return record.lock.read(lambda: record.value)
+
+    def get_record(self, key: Key) -> ValueRecord:
+        """Return the full record (value + metadata) for ``key``.
+
+        Raises:
+            KeyNotFound: if the key is not present.
+        """
+        record = self._records.get(key)
+        if record is None:
+            raise KeyNotFound(repr(key))
+        return record
+
+    def try_get_record(self, key: Key) -> Optional[ValueRecord]:
+        """Return the record for ``key`` or ``None`` if absent."""
+        return self._records.get(key)
+
+    # ---------------------------------------------------------------- write
+    def put(self, key: Key, value: Value, meta: Any = None) -> ValueRecord:
+        """Insert or update ``key`` with ``value`` (and optional metadata).
+
+        Raises:
+            CapacityExceeded: when inserting a new key would exceed capacity.
+        """
+        record = self._records.get(key)
+        if record is None:
+            if self._capacity is not None and len(self._records) >= self._capacity:
+                raise CapacityExceeded(
+                    f"store capacity {self._capacity} reached inserting {key!r}"
+                )
+            record = ValueRecord(value=value, meta=meta)
+            self._records[key] = record
+            if self._index is not None:
+                self._index.insert(key)
+        else:
+            def apply() -> None:
+                record.value = value
+                if meta is not None:
+                    record.meta = meta
+
+            record.lock.write(apply)
+        record.version += 1
+        self.writes += 1
+        return record
+
+    def update_meta(self, key: Key, meta: Any) -> ValueRecord:
+        """Replace the metadata slot for an existing key."""
+        record = self.get_record(key)
+        record.meta = meta
+        return record
+
+    def delete(self, key: Key) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        removed = self._records.pop(key, None)
+        if removed is None:
+            return False
+        if self._index is not None:
+            self._index.remove(key)
+        return True
+
+    # ------------------------------------------------------------- bulk ops
+    def snapshot(self) -> Dict[Key, Value]:
+        """Return a shallow copy of the key → value mapping."""
+        return {key: record.value for key, record in self._records.items()}
+
+    def load(self, items: Dict[Key, Value], meta_factory=None) -> None:
+        """Bulk-load a mapping of keys to values (used for dataset setup).
+
+        Args:
+            items: Mapping of keys to initial values.
+            meta_factory: Optional zero-argument callable producing the
+                initial metadata for each key.
+        """
+        for key, value in items.items():
+            meta = meta_factory() if meta_factory is not None else None
+            self.put(key, value, meta=meta)
+
+    def chunks(self, chunk_size: int = 256) -> Iterator[Dict[Key, Value]]:
+        """Yield the dataset in chunks of at most ``chunk_size`` keys.
+
+        Models the chunked state transfer used when a new (shadow) replica
+        reconstructs the datastore from live replicas (paper §3.4 Recovery).
+        """
+        chunk: Dict[Key, Value] = {}
+        for key, record in self._records.items():
+            chunk[key] = record.value
+            if len(chunk) >= chunk_size:
+                yield chunk
+                chunk = {}
+        if chunk:
+            yield chunk

@@ -1,0 +1,36 @@
+"""Reliable membership (RM) substrate.
+
+Membership-based protocols such as Hermes rely on a reliable membership
+service (paper §2.4): a majority-based (Vertical-Paxos-like) mechanism that
+maintains a lease-guarded view of the live replicas and only reconfigures
+after leases expire, so that removed nodes have provably stopped serving
+requests before new requests complete without them.
+
+This package provides:
+
+* :mod:`repro.membership.view` — epoch-tagged membership views and leases.
+* :mod:`repro.membership.messages` — RM wire messages.
+* :mod:`repro.membership.paxos` — single-decree Paxos used for m-updates.
+* :mod:`repro.membership.detector` — timeout-based failure detection.
+* :mod:`repro.membership.agent` — per-replica RM participant.
+* :mod:`repro.membership.service` — the RM service process driving pings,
+  detection, reconfiguration and lease management.
+"""
+
+from repro.membership.agent import MembershipAgent
+from repro.membership.detector import FailureDetector, FailureDetectorConfig
+from repro.membership.paxos import PaxosAcceptor, PaxosProposer
+from repro.membership.service import MembershipConfig, MembershipService
+from repro.membership.view import Lease, MembershipView
+
+__all__ = [
+    "FailureDetector",
+    "FailureDetectorConfig",
+    "Lease",
+    "MembershipAgent",
+    "MembershipConfig",
+    "MembershipService",
+    "MembershipView",
+    "PaxosAcceptor",
+    "PaxosProposer",
+]

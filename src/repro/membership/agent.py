@@ -1,0 +1,151 @@
+"""Per-replica reliable-membership participant.
+
+Every replica node owns a :class:`MembershipAgent`. The agent:
+
+* answers liveness probes from the RM service,
+* stores the replica's current membership view and lease,
+* acts as a Paxos acceptor for membership reconfigurations,
+* installs m-updates and notifies the owning protocol node via a callback.
+
+In deployments where no failures are injected (most throughput benchmarks)
+the agent can run in *static* mode: it is initialized with a view and an
+infinite lease and the RM service is simply not started, avoiding the
+(small) CPU cost of pings.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+from repro.errors import LeaseExpired, NotInMembership
+from repro.membership.messages import (
+    Accept,
+    Accepted,
+    LeaseGrant,
+    MembershipMessage,
+    MUpdate,
+    Nack,
+    Ping,
+    Pong,
+    Prepare,
+    Promise,
+)
+from repro.membership.paxos import PaxosAcceptor
+from repro.membership.view import Lease, MembershipView
+from repro.types import NodeId
+
+#: Callback invoked when a new view is installed: ``callback(view)``.
+ViewChangeCallback = Callable[[MembershipView], None]
+
+#: Function used by the agent to send a message: ``send(dst, message, size)``.
+SendFunction = Callable[[NodeId, MembershipMessage, int], None]
+
+
+class MembershipAgent:
+    """The membership participant co-located with a replica."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        initial_view: MembershipView,
+        send: SendFunction,
+        local_clock: Callable[[], float],
+        on_view_change: Optional[ViewChangeCallback] = None,
+        static_lease: bool = True,
+    ) -> None:
+        self.node_id = node_id
+        self.view = initial_view
+        self._send = send
+        self._local_clock = local_clock
+        self._on_view_change = on_view_change
+        expires = math.inf if static_lease else 0.0
+        self.lease = Lease(epoch_id=initial_view.epoch_id, expires_at=expires)
+        # One Paxos acceptor per reconfiguration instance, keyed by the epoch
+        # being decided (i.e. current epoch + 1, +2, ... under retries).
+        self._acceptors: Dict[int, PaxosAcceptor] = {}
+        self.views_installed = 0
+
+    # --------------------------------------------------------------- queries
+    def is_operational(self) -> bool:
+        """Whether this replica may serve requests (valid lease + member)."""
+        return self.lease.valid(self._local_clock()) and self.view.contains(self.node_id)
+
+    def require_operational(self) -> None:
+        """Raise if the replica must not serve requests right now."""
+        if not self.lease.valid(self._local_clock()):
+            raise LeaseExpired(f"node {self.node_id} lease expired")
+        if not self.view.contains(self.node_id):
+            raise NotInMembership(f"node {self.node_id} not in epoch {self.view.epoch_id}")
+
+    @property
+    def epoch_id(self) -> int:
+        """The epoch of the currently installed view."""
+        return self.view.epoch_id
+
+    # -------------------------------------------------------------- messages
+    def handle(self, src: NodeId, message: MembershipMessage) -> bool:
+        """Dispatch an RM message; returns False if the type is unknown."""
+        if isinstance(message, Ping):
+            self._send(src, Pong(sequence=message.sequence), Pong().size_bytes)
+            return True
+        if isinstance(message, LeaseGrant):
+            self._handle_lease_grant(message)
+            return True
+        if isinstance(message, Prepare):
+            self._handle_prepare(src, message)
+            return True
+        if isinstance(message, Accept):
+            self._handle_accept(src, message)
+            return True
+        if isinstance(message, MUpdate):
+            self._install_view(message.view, message.lease_duration)
+            return True
+        if isinstance(message, (Pong, Promise, Accepted, Nack)):
+            # Replica agents do not act as proposers; ignore stray replies.
+            return True
+        return False
+
+    # ------------------------------------------------------------- internals
+    def _handle_lease_grant(self, message: LeaseGrant) -> None:
+        if message.view.epoch_id < self.view.epoch_id:
+            return
+        if message.view.epoch_id > self.view.epoch_id:
+            self._install_view(message.view, message.duration)
+            return
+        new_expiry = self._local_clock() + message.duration
+        self.lease = self.lease.renewed(new_expiry)
+
+    def _acceptor_for(self, instance: int) -> PaxosAcceptor:
+        return self._acceptors.setdefault(instance, PaxosAcceptor())
+
+    def _handle_prepare(self, src: NodeId, message: Prepare) -> None:
+        acceptor = self._acceptor_for(self.view.epoch_id + 1)
+        promised, accepted_ballot, accepted_value = acceptor.on_prepare(message.ballot)
+        if promised:
+            reply = Promise(
+                ballot=message.ballot,
+                accepted_ballot=accepted_ballot,
+                accepted_value=accepted_value,
+            )
+        else:
+            reply = Nack(promised_ballot=acceptor.promised_ballot)
+        self._send(src, reply, reply.size_bytes)
+
+    def _handle_accept(self, src: NodeId, message: Accept) -> None:
+        acceptor = self._acceptor_for(self.view.epoch_id + 1)
+        if acceptor.on_accept(message.ballot, message.value):
+            reply: MembershipMessage = Accepted(ballot=message.ballot)
+        else:
+            reply = Nack(promised_ballot=acceptor.promised_ballot)
+        self._send(src, reply, reply.size_bytes)
+
+    def _install_view(self, view: MembershipView, lease_duration: float) -> None:
+        if view.epoch_id <= self.view.epoch_id:
+            return
+        self.view = view
+        expires = self._local_clock() + lease_duration if lease_duration else math.inf
+        self.lease = Lease(epoch_id=view.epoch_id, expires_at=expires)
+        self.views_installed += 1
+        if self._on_view_change is not None:
+            self._on_view_change(view)

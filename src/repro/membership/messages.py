@@ -1,0 +1,95 @@
+"""Wire messages of the reliable membership service.
+
+All membership messages derive from :class:`MembershipMessage` so that
+replica nodes can dispatch them to their :class:`~repro.membership.agent.
+MembershipAgent` without inspecting individual types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.membership.view import MembershipView
+from repro.types import NodeId
+
+#: Approximate wire size of small control messages, in bytes.
+CONTROL_MESSAGE_BYTES = 24
+
+
+@dataclass
+class MembershipMessage:
+    """Base class for all RM messages."""
+
+    @property
+    def size_bytes(self) -> int:
+        """Payload size used by the network model."""
+        return CONTROL_MESSAGE_BYTES
+
+
+@dataclass
+class Ping(MembershipMessage):
+    """Liveness probe from the RM service to a replica."""
+
+    sequence: int = 0
+
+
+@dataclass
+class Pong(MembershipMessage):
+    """Reply to a :class:`Ping`."""
+
+    sequence: int = 0
+
+
+@dataclass
+class LeaseGrant(MembershipMessage):
+    """Grant (or renew) a replica's lease under a view."""
+
+    view: MembershipView = None  # type: ignore[assignment]
+    duration: float = 0.0
+
+
+@dataclass
+class Prepare(MembershipMessage):
+    """Paxos phase-1a message for an m-update."""
+
+    ballot: int = 0
+
+
+@dataclass
+class Promise(MembershipMessage):
+    """Paxos phase-1b message."""
+
+    ballot: int = 0
+    accepted_ballot: Optional[int] = None
+    accepted_value: Optional[Tuple[int, FrozenSet[NodeId]]] = None
+
+
+@dataclass
+class Accept(MembershipMessage):
+    """Paxos phase-2a message carrying the proposed new view."""
+
+    ballot: int = 0
+    value: Tuple[int, FrozenSet[NodeId]] = field(default_factory=tuple)  # type: ignore[assignment]
+
+
+@dataclass
+class Accepted(MembershipMessage):
+    """Paxos phase-2b message."""
+
+    ballot: int = 0
+
+
+@dataclass
+class Nack(MembershipMessage):
+    """Rejection of a Prepare/Accept carrying the highest promised ballot."""
+
+    promised_ballot: int = 0
+
+
+@dataclass
+class MUpdate(MembershipMessage):
+    """Installation of a reconfigured view on a live replica (paper §3.4)."""
+
+    view: MembershipView = None  # type: ignore[assignment]
+    lease_duration: float = 0.0

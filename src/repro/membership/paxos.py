@@ -1,0 +1,125 @@
+"""Single-decree Paxos used for membership reconfiguration.
+
+The paper's reliable membership is maintained "through a majority-based
+protocol" in the style of Vertical Paxos (§2.4). This module implements the
+acceptor and proposer roles as plain state machines; the membership service
+and agents drive them by exchanging the messages defined in
+:mod:`repro.membership.messages`.
+
+Each membership epoch is decided by an independent single-decree Paxos
+instance whose value is the ``(epoch_id, members)`` pair of the new view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.types import NodeId
+
+#: A Paxos value: the proposed (epoch_id, members) pair.
+ViewValue = Tuple[int, FrozenSet[NodeId]]
+
+
+@dataclass
+class PaxosAcceptor:
+    """The acceptor role for one reconfiguration instance."""
+
+    promised_ballot: int = -1
+    accepted_ballot: Optional[int] = None
+    accepted_value: Optional[ViewValue] = None
+
+    def on_prepare(self, ballot: int) -> Tuple[bool, Optional[int], Optional[ViewValue]]:
+        """Handle a phase-1a prepare.
+
+        Returns:
+            ``(promised, accepted_ballot, accepted_value)`` — ``promised`` is
+            False when the ballot is stale and the prepare must be nacked.
+        """
+        if ballot <= self.promised_ballot:
+            return False, None, None
+        self.promised_ballot = ballot
+        return True, self.accepted_ballot, self.accepted_value
+
+    def on_accept(self, ballot: int, value: ViewValue) -> bool:
+        """Handle a phase-2a accept; returns whether the value was accepted."""
+        if ballot < self.promised_ballot:
+            return False
+        self.promised_ballot = ballot
+        self.accepted_ballot = ballot
+        self.accepted_value = value
+        return True
+
+
+@dataclass
+class PaxosProposer:
+    """The proposer role for one reconfiguration instance.
+
+    The proposer is ballot-driven: :meth:`start_round` returns the ballot to
+    send in Prepare messages; promises and accepts are fed back via
+    :meth:`on_promise` / :meth:`on_accepted`. The caller handles message
+    transport and retries.
+    """
+
+    proposer_id: int
+    num_acceptors: int
+    value: ViewValue
+    _ballot: int = 0
+    _promises: Set[NodeId] = field(default_factory=set)
+    _accepts: Set[NodeId] = field(default_factory=set)
+    _highest_accepted_ballot: int = -1
+    chosen_value: Optional[ViewValue] = None
+
+    @property
+    def majority(self) -> int:
+        """Quorum size over the acceptors."""
+        return self.num_acceptors // 2 + 1
+
+    @property
+    def ballot(self) -> int:
+        """The ballot of the current round."""
+        return self._ballot
+
+    def start_round(self, min_ballot: int = 0) -> int:
+        """Start a new round with a ballot higher than any seen so far.
+
+        Ballots are made unique across proposers by embedding the proposer id
+        in the low bits.
+        """
+        base = max(self._ballot, min_ballot) // 256 + 1
+        self._ballot = base * 256 + (self.proposer_id % 256)
+        self._promises.clear()
+        self._accepts.clear()
+        return self._ballot
+
+    def on_promise(
+        self,
+        acceptor: NodeId,
+        ballot: int,
+        accepted_ballot: Optional[int],
+        accepted_value: Optional[ViewValue],
+    ) -> bool:
+        """Record a promise; returns True when a prepare quorum is reached."""
+        if ballot != self._ballot:
+            return False
+        self._promises.add(acceptor)
+        if accepted_ballot is not None and accepted_ballot > self._highest_accepted_ballot:
+            # Paxos safety: adopt the highest previously accepted value.
+            self._highest_accepted_ballot = accepted_ballot
+            if accepted_value is not None:
+                self.value = accepted_value
+        return len(self._promises) >= self.majority
+
+    def on_accepted(self, acceptor: NodeId, ballot: int) -> bool:
+        """Record an accepted; returns True when the value is chosen."""
+        if ballot != self._ballot:
+            return False
+        self._accepts.add(acceptor)
+        if len(self._accepts) >= self.majority:
+            self.chosen_value = self.value
+            return True
+        return False
+
+    def on_nack(self, promised_ballot: int) -> int:
+        """Handle a nack by advancing past the competing ballot."""
+        return self.start_round(min_ballot=promised_ballot)

@@ -1,0 +1,226 @@
+"""The reliable membership (RM) service process.
+
+The service plays the role that the paper attributes to the datacenter's RM
+infrastructure (§2.4, §6.6): it probes replicas, detects failures with a
+conservative timeout, waits for the expiry of outstanding leases, decides the
+new membership through a majority-based Paxos round among the surviving
+replicas, and installs the resulting m-update on every live replica.
+
+The service is itself a :class:`~repro.sim.node.NodeProcess` so that its
+messages traverse the simulated network and experience realistic delays —
+this is what produces the unavailability window visible in Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ConfigurationError
+from repro.membership.detector import FailureDetector, FailureDetectorConfig
+from repro.membership.messages import (
+    Accept,
+    Accepted,
+    LeaseGrant,
+    MembershipMessage,
+    MUpdate,
+    Nack,
+    Ping,
+    Pong,
+    Prepare,
+    Promise,
+)
+from repro.membership.paxos import PaxosProposer
+from repro.membership.view import MembershipView
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.node import NodeProcess, ServiceTimeModel
+from repro.types import NodeId
+
+
+@dataclass
+class MembershipConfig:
+    """Configuration of the RM service.
+
+    Attributes:
+        lease_duration: Validity period of granted leases.
+        renewal_interval: How often leases are refreshed (must be shorter than
+            the lease duration so live nodes never observe an expired lease).
+        detection: Failure detector settings (ping interval / timeout).
+        service_node_id: Node id used by the RM service on the network.
+    """
+
+    lease_duration: float = 40e-3
+    renewal_interval: float = 10e-3
+    detection: FailureDetectorConfig = field(default_factory=FailureDetectorConfig)
+    service_node_id: NodeId = 10_000
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` for invalid settings."""
+        if self.lease_duration <= 0:
+            raise ConfigurationError("lease_duration must be positive")
+        if self.renewal_interval <= 0 or self.renewal_interval >= self.lease_duration:
+            raise ConfigurationError("renewal_interval must be positive and < lease_duration")
+        self.detection.validate()
+
+
+class MembershipService(NodeProcess):
+    """Drives failure detection, lease renewal and membership reconfiguration."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        initial_view: MembershipView,
+        config: Optional[MembershipConfig] = None,
+    ) -> None:
+        self.config = config or MembershipConfig()
+        self.config.validate()
+        super().__init__(
+            node_id=self.config.service_node_id,
+            sim=sim,
+            network=network,
+            service_model=ServiceTimeModel(base=0.1e-6, per_byte=0.0, worker_threads=1),
+        )
+        self.view = initial_view
+        self.detector = FailureDetector(
+            self.config.detection, monitored=initial_view.members, now=sim.now
+        )
+        self._ping_sequence = 0
+        self._last_lease_grant: Dict[NodeId, float] = {}
+        self._reconfiguring = False
+        self._pending_removals: Set[NodeId] = set()
+        self._proposer: Optional[PaxosProposer] = None
+        self._started = False
+        self.reconfigurations = 0
+        #: Times at which each epoch became installed (for Figure 9 analysis).
+        self.reconfiguration_times: List[float] = []
+
+    # ----------------------------------------------------------------- start
+    def start(self) -> None:
+        """Begin pinging, lease renewal and failure monitoring."""
+        if self._started:
+            return
+        self._started = True
+        self._grant_leases()
+        self.set_timer(self.config.detection.ping_interval, self._ping_tick)
+        self.set_timer(self.config.renewal_interval, self._lease_tick)
+
+    # ----------------------------------------------------------- NodeProcess
+    def on_message(self, src: NodeId, message: MembershipMessage) -> None:
+        """Handle replies from replicas (pongs and Paxos responses)."""
+        if isinstance(message, Pong):
+            self.detector.record_heartbeat(src, self.sim.now)
+            return
+        if isinstance(message, Promise):
+            self._on_promise(src, message)
+            return
+        if isinstance(message, Accepted):
+            self._on_accepted(src, message)
+            return
+        if isinstance(message, Nack):
+            self._on_nack(message)
+            return
+        # Other message kinds are not expected at the service; ignore them.
+
+    def on_local_work(self, work) -> None:  # pragma: no cover - not used
+        raise NotImplementedError("the membership service takes no local work")
+
+    # -------------------------------------------------------------- periodic
+    def _ping_tick(self) -> None:
+        self._ping_sequence += 1
+        for node in self.view.members:
+            self.send(node, Ping(sequence=self._ping_sequence), Ping().size_bytes)
+        self._check_failures()
+        self.set_timer(self.config.detection.ping_interval, self._ping_tick)
+
+    def _lease_tick(self) -> None:
+        if not self._reconfiguring:
+            self._grant_leases()
+        self.set_timer(self.config.renewal_interval, self._lease_tick)
+
+    def _grant_leases(self) -> None:
+        grant = LeaseGrant(view=self.view, duration=self.config.lease_duration)
+        for node in self.view.members:
+            self._last_lease_grant[node] = self.sim.now
+            self.send(node, grant, grant.size_bytes)
+
+    # ----------------------------------------------------- failure handling
+    def _check_failures(self) -> None:
+        if self._reconfiguring:
+            return
+        suspected = self.detector.suspected(self.sim.now) & self.view.members
+        if not suspected:
+            return
+        self._reconfiguring = True
+        self._pending_removals = suspected
+        # Reconfiguration may only proceed once every lease that could still
+        # be held by a suspected (or any) node has expired (paper §2.4).
+        latest_grant = max(self._last_lease_grant.get(n, 0.0) for n in self.view.members)
+        lease_expiry = latest_grant + self.config.lease_duration
+        delay = max(0.0, lease_expiry - self.sim.now)
+        self.set_timer(delay, self._start_reconfiguration)
+
+    def _start_reconfiguration(self) -> None:
+        survivors = self.view.members - self._pending_removals
+        if not survivors:
+            # Total failure: nothing to reconfigure onto.
+            self._reconfiguring = False
+            return
+        new_view = MembershipView(epoch_id=self.view.epoch_id + 1, members=frozenset(survivors))
+        self._proposer = PaxosProposer(
+            proposer_id=self.node_id,
+            num_acceptors=len(survivors),
+            value=(new_view.epoch_id, new_view.members),
+        )
+        ballot = self._proposer.start_round()
+        prepare = Prepare(ballot=ballot)
+        for node in survivors:
+            self.send(node, prepare, prepare.size_bytes)
+
+    def _on_promise(self, src: NodeId, message: Promise) -> None:
+        if self._proposer is None:
+            return
+        quorum = self._proposer.on_promise(
+            src, message.ballot, message.accepted_ballot, message.accepted_value
+        )
+        if quorum and self._proposer.chosen_value is None and not self._accept_sent():
+            accept = Accept(ballot=self._proposer.ballot, value=self._proposer.value)
+            for node in self.view.members - self._pending_removals:
+                self.send(node, accept, accept.size_bytes)
+            self._accept_broadcast_done = True
+
+    def _accept_sent(self) -> bool:
+        return getattr(self, "_accept_broadcast_done", False)
+
+    def _on_accepted(self, src: NodeId, message: Accepted) -> None:
+        if self._proposer is None:
+            return
+        if self._proposer.on_accepted(src, message.ballot):
+            self._install_chosen_view()
+
+    def _on_nack(self, message: Nack) -> None:
+        if self._proposer is None or self._proposer.chosen_value is not None:
+            return
+        ballot = self._proposer.on_nack(message.promised_ballot)
+        self._accept_broadcast_done = False
+        prepare = Prepare(ballot=ballot)
+        for node in self.view.members - self._pending_removals:
+            self.send(node, prepare, prepare.size_bytes)
+
+    def _install_chosen_view(self) -> None:
+        assert self._proposer is not None and self._proposer.chosen_value is not None
+        epoch_id, members = self._proposer.chosen_value
+        self.view = MembershipView(epoch_id=epoch_id, members=members)
+        for node in self._pending_removals:
+            self.detector.remove(node)
+        update = MUpdate(view=self.view, lease_duration=self.config.lease_duration)
+        for node in self.view.members:
+            self._last_lease_grant[node] = self.sim.now
+            self.send(node, update, update.size_bytes)
+        self.reconfigurations += 1
+        self.reconfiguration_times.append(self.sim.now)
+        self._reconfiguring = False
+        self._pending_removals = set()
+        self._proposer = None
+        self._accept_broadcast_done = False

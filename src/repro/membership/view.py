@@ -1,0 +1,86 @@
+"""Membership views and leases.
+
+A :class:`MembershipView` is the epoch-tagged set of live replicas. A
+:class:`Lease` is the time-bounded permission a replica holds to serve
+requests under a given view; a replica whose lease has expired must stop
+serving until it obtains a fresh lease (paper §2.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
+
+from repro.errors import ConfigurationError
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class MembershipView:
+    """An epoch-tagged membership of live replicas.
+
+    Attributes:
+        epoch_id: Monotonically increasing configuration number. Messages are
+            tagged with the sender's epoch and dropped on mismatch.
+        members: The set of node ids considered live in this epoch.
+    """
+
+    epoch_id: int
+    members: FrozenSet[NodeId]
+
+    @classmethod
+    def initial(cls, members: Iterable[NodeId]) -> "MembershipView":
+        """The first view (epoch 1) over the given members."""
+        frozen = frozenset(members)
+        if not frozen:
+            raise ConfigurationError("membership view requires at least one member")
+        return cls(epoch_id=1, members=frozen)
+
+    def without(self, *failed: NodeId) -> "MembershipView":
+        """A successor view with ``failed`` removed and the epoch bumped."""
+        remaining = self.members - frozenset(failed)
+        if not remaining:
+            raise ConfigurationError("cannot remove every member from the view")
+        return MembershipView(epoch_id=self.epoch_id + 1, members=remaining)
+
+    def with_added(self, *joined: NodeId) -> "MembershipView":
+        """A successor view with ``joined`` added and the epoch bumped."""
+        return MembershipView(epoch_id=self.epoch_id + 1, members=self.members | frozenset(joined))
+
+    def contains(self, node: NodeId) -> bool:
+        """Whether ``node`` is a member of this view."""
+        return node in self.members
+
+    @property
+    def size(self) -> int:
+        """Number of members."""
+        return len(self.members)
+
+    def majority(self) -> int:
+        """Size of a majority quorum of this view."""
+        return len(self.members) // 2 + 1
+
+    def others(self, node: NodeId) -> FrozenSet[NodeId]:
+        """Members other than ``node``."""
+        return self.members - {node}
+
+
+@dataclass
+class Lease:
+    """A membership lease held by a replica.
+
+    Attributes:
+        epoch_id: The epoch for which the lease is valid.
+        expires_at: Local-clock time at which the lease expires.
+    """
+
+    epoch_id: int
+    expires_at: float
+
+    def valid(self, local_time: float) -> bool:
+        """Whether the lease is still valid at the given local-clock time."""
+        return local_time < self.expires_at
+
+    def renewed(self, new_expiry: float) -> "Lease":
+        """Return a copy of this lease extended to ``new_expiry``."""
+        return Lease(epoch_id=self.epoch_id, expires_at=max(self.expires_at, new_expiry))

@@ -1,0 +1,241 @@
+"""Shared machinery for replication-protocol replicas.
+
+Every protocol in the library (Hermes and the baselines) subclasses
+:class:`ReplicaNode`, which layers three things on top of the simulated
+:class:`~repro.sim.node.NodeProcess`:
+
+* a client entry point (:meth:`ReplicaNode.submit`) with completion
+  callbacks,
+* membership integration (a per-replica
+  :class:`~repro.membership.agent.MembershipAgent`, epoch-tagged message
+  filtering, view-change notification),
+* transport integration (direct or Wings-batched sends, message unpacking).
+
+Protocols implement :meth:`handle_client_op` and
+:meth:`handle_protocol_message` and describe themselves through
+:class:`ProtocolFeatures` (the data behind the paper's Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Type
+
+from repro.errors import ConfigurationError
+from repro.kvs.store import KeyValueStore
+from repro.membership.agent import MembershipAgent
+from repro.membership.messages import MembershipMessage
+from repro.membership.view import MembershipView
+from repro.rpc.wings import DirectTransport, Transport
+from repro.sim.clock import ClockConfig, LooselySynchronizedClock
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.node import NodeProcess, ServiceTimeModel
+from repro.sim.trace import Tracer
+from repro.types import Key, NodeId, Operation, OpStatus, OpType, Value
+
+#: Completion callback invoked by a replica when an operation finishes:
+#: ``callback(op, status, value)``.
+ClientCallback = Callable[[Operation, OpStatus, Value], None]
+
+
+@dataclass(frozen=True)
+class ProtocolFeatures:
+    """Feature descriptor of a replication protocol (paper Table 2).
+
+    Attributes:
+        name: Human-readable protocol name.
+        consistency: ``"linearizable"`` or ``"sequential"``.
+        local_reads: Whether every replica can serve reads locally.
+        leases: Lease requirement, e.g. ``"one per RM"`` or ``"none"``.
+        inter_key_concurrent_writes: Whether independent keys can be written
+            concurrently.
+        decentralized_writes: Whether any replica can coordinate a write.
+        write_latency_rtt: Qualitative write latency in round trips, e.g.
+            ``"1"``, ``"2"`` or ``"O(n)"``.
+    """
+
+    name: str
+    consistency: str
+    local_reads: bool
+    leases: str
+    inter_key_concurrent_writes: bool
+    decentralized_writes: bool
+    write_latency_rtt: str
+
+
+@dataclass
+class ReplicaConfig:
+    """Configuration shared by all protocol replicas.
+
+    Attributes:
+        key_size: Wire size of a key in bytes (paper uses 8).
+        value_size: Wire size of a value in bytes (paper uses 32 by default).
+        track_kvs_index: Whether the KVS maintains its MICA-style index.
+        clock: Loosely-synchronized-clock parameters.
+    """
+
+    key_size: int = 8
+    value_size: int = 32
+    track_kvs_index: bool = False
+    clock: ClockConfig = field(default_factory=ClockConfig)
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` for invalid settings."""
+        if self.key_size < 1:
+            raise ConfigurationError("key_size must be >= 1")
+        if self.value_size < 1:
+            raise ConfigurationError("value_size must be >= 1")
+        self.clock.validate()
+
+
+class ReplicaNode(NodeProcess):
+    """Base class for protocol replicas.
+
+    Subclasses must implement :meth:`handle_client_op`,
+    :meth:`handle_protocol_message` and :meth:`features`, and may override
+    :meth:`on_view_change` to react to membership reconfiguration.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        sim: Simulator,
+        network: Network,
+        view: MembershipView,
+        config: Optional[ReplicaConfig] = None,
+        store: Optional[KeyValueStore] = None,
+        service_model: Optional[ServiceTimeModel] = None,
+        transport: Optional[Transport] = None,
+        tracer: Optional[Tracer] = None,
+        clock: Optional[LooselySynchronizedClock] = None,
+    ) -> None:
+        super().__init__(node_id, sim, network, service_model)
+        self.config = config or ReplicaConfig()
+        self.config.validate()
+        self.view = view
+        self.store = store or KeyValueStore(track_index=self.config.track_kvs_index)
+        self.transport = transport or DirectTransport(self)
+        self.tracer = tracer or Tracer(enabled=False)
+        self.clock = clock or LooselySynchronizedClock(self.config.clock)
+        self.membership_agent = MembershipAgent(
+            node_id=node_id,
+            initial_view=view,
+            send=self._membership_send,
+            local_clock=self.local_time,
+            on_view_change=self._view_changed,
+            static_lease=True,
+        )
+        #: Counters exposed to the analysis layer.
+        self.ops_completed = 0
+        self.reads_served_locally = 0
+        self.reads_served_remotely = 0
+
+    # --------------------------------------------------------------- clocks
+    def local_time(self) -> float:
+        """This node's loosely synchronized clock reading."""
+        return self.clock.read(self.sim.now)
+
+    # ----------------------------------------------------------- client API
+    def submit(self, op: Operation, callback: ClientCallback) -> None:
+        """Submit a client operation to this replica.
+
+        The operation is queued behind the node's CPU like any other work;
+        the callback fires when the protocol completes the operation.
+        """
+        size = self.config.key_size
+        if op.op_type.is_update:
+            size += self.config.value_size
+        self.submit_local((op, callback), size_bytes=size)
+
+    # -------------------------------------------------- NodeProcess plumbing
+    def on_local_work(self, work: Tuple[Operation, ClientCallback]) -> None:
+        op, callback = work
+        if not self.is_operational():
+            self.complete(op, callback, OpStatus.UNAVAILABLE)
+            return
+        self.handle_client_op(op, callback)
+        self.transport.flush()
+
+    def on_message(self, src: NodeId, message: Any) -> None:
+        for inner, _size in self.transport.unpack(src, message):
+            if isinstance(inner, MembershipMessage):
+                self.membership_agent.handle(src, inner)
+                self.view = self.membership_agent.view
+            else:
+                self.handle_protocol_message(src, inner)
+        self.transport.flush()
+
+    # ------------------------------------------------------------ overrides
+    def handle_client_op(self, op: Operation, callback: ClientCallback) -> None:
+        """Process a client operation. Subclasses implement."""
+        raise NotImplementedError
+
+    def handle_protocol_message(self, src: NodeId, message: Any) -> None:
+        """Process a protocol message from a peer. Subclasses implement."""
+        raise NotImplementedError
+
+    def on_view_change(self, view: MembershipView) -> None:
+        """React to a membership reconfiguration. Default: no-op."""
+
+    @classmethod
+    def features(cls) -> ProtocolFeatures:
+        """Describe this protocol's read/write features (Table 2)."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- helpers
+    def is_operational(self) -> bool:
+        """Whether this replica may serve client requests right now."""
+        return not self.crashed and self.membership_agent.is_operational()
+
+    def complete(
+        self,
+        op: Operation,
+        callback: ClientCallback,
+        status: OpStatus,
+        value: Value = None,
+    ) -> None:
+        """Finish a client operation and invoke its completion callback."""
+        self.ops_completed += 1
+        callback(op, status, value)
+
+    def peers(self) -> Iterable[NodeId]:
+        """Live peers (all view members except this node)."""
+        return self.view.others(self.node_id)
+
+    def preload(self, key: Key, value: Value) -> None:
+        """Install an initial value during dataset loading (no replication)."""
+        self.store.put(key, value)
+
+    def value_size_of(self, value: Value) -> int:
+        """Wire size of a value (uses actual length for bytes/str payloads)."""
+        if isinstance(value, (bytes, bytearray, str)):
+            return len(value)
+        return self.config.value_size
+
+    def update_size_bytes(self, value: Value) -> int:
+        """Wire size of an update payload (key + value)."""
+        return self.config.key_size + self.value_size_of(value)
+
+    # ------------------------------------------------------------ internals
+    def _membership_send(self, dst: NodeId, message: MembershipMessage, size: int) -> None:
+        self.send(dst, message, size)
+
+    def _view_changed(self, view: MembershipView) -> None:
+        self.view = view
+        self.tracer.record(self.sim.now, self.node_id, "view-change", epoch=view.epoch_id)
+        self.on_view_change(view)
+
+
+#: Registry mapping protocol names to replica classes, for the bench harness.
+_PROTOCOLS: Dict[str, Type[ReplicaNode]] = {}
+
+
+def register_protocol(name: str, cls: Type[ReplicaNode]) -> None:
+    """Register a replica class under a short protocol name."""
+    _PROTOCOLS[name] = cls
+
+
+def protocol_registry() -> Dict[str, Type[ReplicaNode]]:
+    """Return a copy of the protocol-name registry."""
+    return dict(_PROTOCOLS)

@@ -1,0 +1,237 @@
+"""Plain Chain Replication (van Renesse & Schneider, OSDI'04).
+
+The predecessor of CRAQ (paper §2.4): nodes form a chain, writes enter at the
+head and commit at the tail, and — unlike CRAQ — *all* linearizable reads
+must be served by the tail. The protocol is included as an additional
+baseline and as the substrate the paper's related-work discussion builds on;
+it makes the value of CRAQ's apportioned queries (and of Hermes' local reads)
+measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.membership.view import MembershipView
+from repro.protocols.base import (
+    ClientCallback,
+    ProtocolFeatures,
+    ReplicaNode,
+    register_protocol,
+)
+from repro.types import Key, NodeId, Operation, OpStatus, OpType, Value
+
+#: Small constant wire overhead of CR control fields.
+CR_HEADER_BYTES = 16
+
+
+@dataclass(frozen=True)
+class CrWriteRequest:
+    """A write forwarded from the receiving node to the head."""
+
+    key: Key
+    value: Value
+    origin: NodeId
+    op_id: int
+    size_bytes: int = CR_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class CrWriteDown:
+    """A write propagating down the chain."""
+
+    key: Key
+    version: int
+    value: Value
+    origin: NodeId
+    op_id: int
+    size_bytes: int = CR_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class CrWriteReply:
+    """Completion notification from the tail to the origin node."""
+
+    op_id: int
+    value: Value
+    size_bytes: int = CR_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class CrReadRequest:
+    """A read forwarded to the tail (CR serves linearizable reads there only)."""
+
+    key: Key
+    origin: NodeId
+    op_id: int
+    size_bytes: int = CR_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class CrReadReply:
+    """The tail's answer to a forwarded read."""
+
+    op_id: int
+    value: Value
+    size_bytes: int = CR_HEADER_BYTES
+
+
+@dataclass
+class CrKeyMeta:
+    """Per-key version counter used by the head to order writes."""
+
+    version: int = 0
+
+
+class ChainReplicationReplica(ReplicaNode):
+    """A node of a plain Chain Replication chain."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._chain: List[NodeId] = sorted(self.view.members)
+        self._pending_ops: Dict[int, Tuple[Operation, ClientCallback]] = {}
+        self.writes_committed = 0
+
+    # ------------------------------------------------------------- features
+    @classmethod
+    def features(cls) -> ProtocolFeatures:
+        """Plain CR's feature descriptor (tail-only reads)."""
+        return ProtocolFeatures(
+            name="CR",
+            consistency="linearizable",
+            local_reads=False,
+            leases="one per RM",
+            inter_key_concurrent_writes=True,
+            decentralized_writes=False,
+            write_latency_rtt="O(n)",
+        )
+
+    # ------------------------------------------------------- chain topology
+    @property
+    def head(self) -> NodeId:
+        """Head of the chain."""
+        return self._chain[0]
+
+    @property
+    def tail(self) -> NodeId:
+        """Tail of the chain."""
+        return self._chain[-1]
+
+    @property
+    def is_head(self) -> bool:
+        """Whether this node is the head."""
+        return self.node_id == self.head
+
+    @property
+    def is_tail(self) -> bool:
+        """Whether this node is the tail."""
+        return self.node_id == self.tail
+
+    def successor(self) -> Optional[NodeId]:
+        """Next node down the chain, if any."""
+        index = self._chain.index(self.node_id)
+        return self._chain[index + 1] if index + 1 < len(self._chain) else None
+
+    def on_view_change(self, view: MembershipView) -> None:
+        """Rebuild the chain over the surviving members."""
+        self._chain = sorted(view.members)
+
+    # ------------------------------------------------------------ client ops
+    def handle_client_op(self, op: Operation, callback: ClientCallback) -> None:
+        """Forward reads to the tail and updates to the head."""
+        if op.op_type is OpType.READ:
+            if self.is_tail:
+                self.reads_served_locally += 1
+                record = self.store.try_get_record(op.key)
+                self.complete(op, callback, OpStatus.OK, record.value if record else None)
+                return
+            self.reads_served_remotely += 1
+            self._pending_ops[op.op_id] = (op, callback)
+            request = CrReadRequest(key=op.key, origin=self.node_id, op_id=op.op_id)
+            self.transport.send(self.tail, request, request.size_bytes)
+            return
+        self._pending_ops[op.op_id] = (op, callback)
+        if self.is_head:
+            self._head_accept(op.key, op.value, self.node_id, op.op_id)
+            return
+        request = CrWriteRequest(key=op.key, value=op.value, origin=self.node_id, op_id=op.op_id)
+        self.transport.send(
+            self.head, request, request.size_bytes + self.update_size_bytes(op.value)
+        )
+
+    # ------------------------------------------------------ protocol messages
+    def handle_protocol_message(self, src: NodeId, message: Any) -> None:
+        """Dispatch chain traffic."""
+        if isinstance(message, CrWriteRequest):
+            if self.is_head:
+                self._head_accept(message.key, message.value, message.origin, message.op_id)
+        elif isinstance(message, CrWriteDown):
+            self._on_write_down(message)
+        elif isinstance(message, CrWriteReply):
+            self._complete_pending(message.op_id, message.value)
+        elif isinstance(message, CrReadRequest):
+            self._on_read_request(message)
+        elif isinstance(message, CrReadReply):
+            self._complete_pending(message.op_id, message.value)
+
+    # --------------------------------------------------------------- internals
+    def _head_accept(self, key: Key, value: Value, origin: NodeId, op_id: int) -> None:
+        meta = self._meta(key)
+        meta.version += 1
+        self.store.put(key, value, meta=meta)
+        self._forward_down(key, meta.version, value, origin, op_id)
+
+    def _forward_down(self, key: Key, version: int, value: Value, origin: NodeId, op_id: int) -> None:
+        successor = self.successor()
+        if successor is None:
+            self._tail_commit(key, value, origin, op_id)
+            return
+        message = CrWriteDown(key=key, version=version, value=value, origin=origin, op_id=op_id)
+        self.transport.send(
+            successor, message, message.size_bytes + self.update_size_bytes(value)
+        )
+
+    def _on_write_down(self, message: CrWriteDown) -> None:
+        self.store.put(message.key, message.value, meta=self._meta(message.key))
+        if self.is_tail:
+            self._tail_commit(message.key, message.value, message.origin, message.op_id)
+        else:
+            self._forward_down(
+                message.key, message.version, message.value, message.origin, message.op_id
+            )
+
+    def _tail_commit(self, key: Key, value: Value, origin: NodeId, op_id: int) -> None:
+        self.store.put(key, value, meta=self._meta(key))
+        self.writes_committed += 1
+        if origin == self.node_id:
+            self._complete_pending(op_id, value)
+        else:
+            reply = CrWriteReply(op_id=op_id, value=value)
+            self.transport.send(origin, reply, reply.size_bytes)
+
+    def _on_read_request(self, message: CrReadRequest) -> None:
+        record = self.store.try_get_record(message.key)
+        value = record.value if record is not None else None
+        reply = CrReadReply(op_id=message.op_id, value=value)
+        self.transport.send(
+            message.origin, reply, reply.size_bytes + self.value_size_of(value)
+        )
+
+    def _complete_pending(self, op_id: int, value: Value) -> None:
+        entry = self._pending_ops.pop(op_id, None)
+        if entry is None:
+            return
+        op, callback = entry
+        self.complete(op, callback, OpStatus.OK, value)
+
+    def _meta(self, key: Key) -> CrKeyMeta:
+        record = self.store.try_get_record(key)
+        if record is None:
+            record = self.store.put(key, None, meta=CrKeyMeta())
+        elif record.meta is None:
+            record.meta = CrKeyMeta()
+        return record.meta
+
+
+register_protocol("cr", ChainReplicationReplica)

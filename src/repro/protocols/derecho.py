@@ -1,0 +1,235 @@
+"""A Derecho-style lock-step totally ordered multicast baseline (paper §6.5).
+
+Derecho is the state-of-the-art virtually synchronous (membership-based)
+Paxos variant the paper compares against in Figure 8. Its writes are totally
+ordered and delivered in *lock-step*: a batch (round) of updates is only
+delivered once every replica has confirmed receipt of the whole round, and
+the next round cannot start before the previous one has been delivered.
+Total order also means writes to independent keys cannot proceed
+concurrently.
+
+The model here captures exactly those two properties — sequenced rounds with
+an all-replica barrier and no inter-key concurrency — which are what cap
+Derecho's small-object throughput relative to Hermes in Figure 8. (Derecho's
+RDMA dataplane optimizations such as RDMC trees matter for very large
+objects, outside the evaluated range.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import (
+    ClientCallback,
+    ProtocolFeatures,
+    ReplicaNode,
+    register_protocol,
+)
+from repro.types import Key, NodeId, Operation, OpStatus, OpType, Value
+
+#: Small constant wire overhead of Derecho-style control fields.
+DERECHO_HEADER_BYTES = 16
+
+
+# --------------------------------------------------------------------------
+# Wire messages
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SubmitUpdate:
+    """An update forwarded from the receiving replica to the sequencer."""
+
+    key: Key
+    value: Value
+    origin: NodeId
+    op_id: int
+    size_bytes: int = DERECHO_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class OrderedRound:
+    """A sequenced round (ordered batch) of updates multicast to all replicas."""
+
+    round_id: int
+    updates: Tuple[Tuple[Key, Value, NodeId, int], ...]
+    size_bytes: int = DERECHO_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class RoundReceived:
+    """A replica's confirmation that it received the whole round."""
+
+    round_id: int
+    size_bytes: int = DERECHO_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class RoundDeliver:
+    """The sequencer's instruction to deliver (apply) a stable round."""
+
+    round_id: int
+    size_bytes: int = DERECHO_HEADER_BYTES
+
+
+@dataclass
+class DerechoConfig:
+    """Tunables of the lock-step total-order model.
+
+    Attributes:
+        max_round_updates: Maximum number of updates carried by one round.
+            The default of 1 models the small-message path the paper
+            evaluates (lock-step delivery with no effective intra-round
+            batching); larger windows can be configured to study how much of
+            the gap to Hermes is recovered by batching.
+    """
+
+    max_round_updates: int = 1
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` for invalid settings."""
+        if self.max_round_updates < 1:
+            raise ConfigurationError("max_round_updates must be >= 1")
+
+
+class DerechoReplica(ReplicaNode):
+    """A replica of the Derecho-style lock-step total-order protocol."""
+
+    def __init__(self, *args: Any, derecho_config: Optional[DerechoConfig] = None, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        self.derecho_config = derecho_config or DerechoConfig()
+        self.derecho_config.validate()
+        # Sequencer state.
+        self._next_round_id = 1
+        self._queued_updates: List[Tuple[Key, Value, NodeId, int]] = []
+        self._inflight_round: Optional[OrderedRound] = None
+        self._round_confirmations: Set[NodeId] = set()
+        # Replica state.
+        self._received_rounds: Dict[int, OrderedRound] = {}
+        self._delivered_round = 0
+        self._local_ops: Dict[int, Tuple[Operation, ClientCallback]] = {}
+        self.rounds_delivered = 0
+        self.writes_committed = 0
+
+    # ------------------------------------------------------------- features
+    @classmethod
+    def features(cls) -> ProtocolFeatures:
+        """Derecho's row of the paper's Table 2."""
+        return ProtocolFeatures(
+            name="Derecho",
+            consistency="sequential",
+            local_reads=True,
+            leases="none",
+            inter_key_concurrent_writes=False,
+            decentralized_writes=True,
+            write_latency_rtt="1 (lock-step)",
+        )
+
+    # ------------------------------------------------------------- topology
+    @property
+    def sequencer(self) -> NodeId:
+        """The node sequencing rounds (lowest id in the view)."""
+        return min(self.view.members)
+
+    @property
+    def is_sequencer(self) -> bool:
+        """Whether this replica sequences rounds."""
+        return self.node_id == self.sequencer
+
+    # ------------------------------------------------------------ client ops
+    def handle_client_op(self, op: Operation, callback: ClientCallback) -> None:
+        """Serve reads locally; route updates through the total order."""
+        if op.op_type is OpType.READ:
+            self.reads_served_locally += 1
+            record = self.store.try_get_record(op.key)
+            self.complete(op, callback, OpStatus.OK, record.value if record else None)
+            return
+        self._local_ops[op.op_id] = (op, callback)
+        if self.is_sequencer:
+            self._enqueue_update(op.key, op.value, self.node_id, op.op_id)
+            return
+        submit = SubmitUpdate(key=op.key, value=op.value, origin=self.node_id, op_id=op.op_id)
+        self.transport.send(
+            self.sequencer, submit, submit.size_bytes + self.update_size_bytes(op.value)
+        )
+
+    # ------------------------------------------------------ protocol messages
+    def handle_protocol_message(self, src: NodeId, message: Any) -> None:
+        """Dispatch total-order traffic."""
+        if isinstance(message, SubmitUpdate):
+            if self.is_sequencer:
+                self._enqueue_update(message.key, message.value, message.origin, message.op_id)
+        elif isinstance(message, OrderedRound):
+            self._on_round(message)
+        elif isinstance(message, RoundReceived):
+            self._on_round_received(src, message)
+        elif isinstance(message, RoundDeliver):
+            self._on_round_deliver(message.round_id)
+
+    # --------------------------------------------------------- sequencer side
+    def _enqueue_update(self, key: Key, value: Value, origin: NodeId, op_id: int) -> None:
+        self._queued_updates.append((key, value, origin, op_id))
+        self._maybe_start_round()
+
+    def _maybe_start_round(self) -> None:
+        """Start the next round if none is in flight (lock-step rule)."""
+        if self._inflight_round is not None or not self._queued_updates:
+            return
+        batch = tuple(self._queued_updates[: self.derecho_config.max_round_updates])
+        del self._queued_updates[: len(batch)]
+        round_id = self._next_round_id
+        self._next_round_id += 1
+        # Sequencing the round is pinned to a single ordering thread (total
+        # order prevents inter-key concurrency), one charge per update.
+        self.charge_cpu(weight=float(self.service_model.worker_threads) * len(batch))
+        payload_bytes = sum(self.update_size_bytes(value) for _, value, _, _ in batch)
+        ordered = OrderedRound(round_id=round_id, updates=batch)
+        self._inflight_round = ordered
+        self._round_confirmations = {self.node_id}
+        self._received_rounds[round_id] = ordered
+        self.transport.broadcast(self.peers(), ordered, ordered.size_bytes + payload_bytes)
+        self._maybe_deliver_round()
+
+    def _on_round_received(self, src: NodeId, message: RoundReceived) -> None:
+        if self._inflight_round is None or message.round_id != self._inflight_round.round_id:
+            return
+        self._round_confirmations.add(src)
+        self._maybe_deliver_round()
+
+    def _maybe_deliver_round(self) -> None:
+        """Deliver once *all* live replicas confirmed (virtual synchrony)."""
+        if self._inflight_round is None:
+            return
+        if not set(self.view.members).issubset(self._round_confirmations):
+            return
+        round_id = self._inflight_round.round_id
+        deliver = RoundDeliver(round_id=round_id)
+        self.transport.broadcast(self.peers(), deliver, deliver.size_bytes)
+        self._inflight_round = None
+        self._on_round_deliver(round_id)
+        # Lock-step: only after delivery may the next round start.
+        self._maybe_start_round()
+
+    # ----------------------------------------------------------- replica side
+    def _on_round(self, ordered: OrderedRound) -> None:
+        self._received_rounds[ordered.round_id] = ordered
+        confirm = RoundReceived(round_id=ordered.round_id)
+        self.transport.send(self.sequencer, confirm, confirm.size_bytes)
+
+    def _on_round_deliver(self, round_id: int) -> None:
+        ordered = self._received_rounds.pop(round_id, None)
+        if ordered is None or round_id <= self._delivered_round:
+            return
+        self._delivered_round = round_id
+        self.rounds_delivered += 1
+        for key, value, origin, op_id in ordered.updates:
+            self.store.put(key, value)
+            self.writes_committed += 1
+            if origin == self.node_id:
+                entry = self._local_ops.pop(op_id, None)
+                if entry is not None:
+                    op, callback = entry
+                    self.complete(op, callback, OpStatus.OK, value)
+
+
+register_protocol("derecho", DerechoReplica)

@@ -1,0 +1,29 @@
+"""Wings: the RDMA-style RPC layer (paper §4.2).
+
+Wings is the communication library underneath HermesKV. It provides
+opportunistic batching of messages headed to the same receiver, software
+broadcasts, and credit-based flow control. This package reproduces those
+mechanisms over the simulated network:
+
+* :mod:`repro.rpc.batching` — per-destination opportunistic batch buffers.
+* :mod:`repro.rpc.flow_control` — credit-based flow control with implicit and
+  explicit credit updates.
+* :mod:`repro.rpc.wings` — the transport facade protocol nodes talk to, plus
+  the plain unbatched transport used when Wings is disabled.
+"""
+
+from repro.rpc.batching import BatchBuffer, BatchingConfig, WingsPacket
+from repro.rpc.flow_control import CreditConfig, CreditManager, ExplicitCreditUpdate
+from repro.rpc.wings import DirectTransport, Transport, WingsTransport
+
+__all__ = [
+    "BatchBuffer",
+    "BatchingConfig",
+    "CreditConfig",
+    "CreditManager",
+    "DirectTransport",
+    "ExplicitCreditUpdate",
+    "Transport",
+    "WingsPacket",
+    "WingsTransport",
+]

@@ -1,0 +1,124 @@
+"""Opportunistic batching of RPC messages.
+
+Wings inspects the send buffer and batches messages with the same receiver
+into a single network packet, amortizing header overhead (paper §4.2). The
+batching is *opportunistic*: it never stalls to form a batch — only messages
+that are already available are grouped. In the simulator, "already available"
+is modelled by a very short aggregation window after the first message to a
+destination is buffered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import NodeId
+
+#: Per-message overhead inside a batch (Wings application-level sub-header).
+PER_MESSAGE_HEADER_BYTES = 4
+
+
+@dataclass
+class BatchingConfig:
+    """Configuration of the opportunistic batcher.
+
+    Attributes:
+        max_batch_messages: Flush as soon as this many messages accumulate
+            for one destination.
+        max_delay: Aggregation window in seconds: the batch is flushed this
+            long after its first message was buffered, even if not full.
+            Models the "readily available messages" window of Wings.
+    """
+
+    max_batch_messages: int = 16
+    max_delay: float = 2e-6
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` for invalid settings."""
+        if self.max_batch_messages < 1:
+            raise ConfigurationError("max_batch_messages must be >= 1")
+        if self.max_delay < 0:
+            raise ConfigurationError("max_delay must be non-negative")
+
+
+@dataclass
+class WingsPacket:
+    """A network packet carrying a batch of application messages.
+
+    Attributes:
+        messages: The batched ``(message, payload_size)`` pairs.
+    """
+
+    messages: List[Tuple[Any, int]] = field(default_factory=list)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total payload size of the packet (messages + sub-headers)."""
+        return sum(size + PER_MESSAGE_HEADER_BYTES for _, size in self.messages)
+
+    @property
+    def count(self) -> int:
+        """Number of batched messages."""
+        return len(self.messages)
+
+
+class BatchBuffer:
+    """Per-destination accumulation buffers feeding :class:`WingsPacket` s."""
+
+    def __init__(self, config: BatchingConfig) -> None:
+        config.validate()
+        self.config = config
+        self._pending: Dict[NodeId, List[Tuple[Any, int]]] = {}
+        self.batches_emitted = 0
+        self.messages_batched = 0
+
+    def add(self, dst: NodeId, message: Any, size_bytes: int) -> bool:
+        """Buffer a message for ``dst``.
+
+        Returns:
+            True if this was the *first* message buffered for the destination
+            (the caller should arm the aggregation-window timer), False
+            otherwise.
+        """
+        bucket = self._pending.get(dst)
+        if bucket is None:
+            self._pending[dst] = [(message, size_bytes)]
+            return True
+        bucket.append((message, size_bytes))
+        return False
+
+    def is_full(self, dst: NodeId) -> bool:
+        """Whether the buffer for ``dst`` has reached the flush threshold."""
+        bucket = self._pending.get(dst)
+        return bucket is not None and len(bucket) >= self.config.max_batch_messages
+
+    def flush(self, dst: NodeId) -> WingsPacket:
+        """Remove and return the pending batch for ``dst`` (possibly empty)."""
+        bucket = self._pending.pop(dst, [])
+        packet = WingsPacket(messages=bucket)
+        if bucket:
+            self.batches_emitted += 1
+            self.messages_batched += len(bucket)
+        return packet
+
+    def flush_all(self) -> Dict[NodeId, WingsPacket]:
+        """Flush every destination; returns only non-empty packets."""
+        packets = {}
+        for dst in list(self._pending):
+            packet = self.flush(dst)
+            if packet.count:
+                packets[dst] = packet
+        return packets
+
+    def pending_for(self, dst: NodeId) -> int:
+        """Number of messages currently buffered for ``dst``."""
+        return len(self._pending.get(dst, ()))
+
+    @property
+    def average_batch_size(self) -> float:
+        """Mean number of messages per emitted batch."""
+        if not self.batches_emitted:
+            return 0.0
+        return self.messages_batched / self.batches_emitted

@@ -1,0 +1,82 @@
+"""Loosely synchronized clocks (LSCs).
+
+The paper's failure model (§2.4) assumes processes equipped with loosely
+synchronized clocks, used only for membership lease management. This module
+models per-node physical clocks that may be offset from true simulated time
+by a bounded skew and may drift slowly. Protocol logic never uses these
+clocks for ordering — only the membership/lease machinery consumes them,
+mirroring the paper's design (§8 discusses operating without LSCs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+import random
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class ClockConfig:
+    """Configuration of a loosely synchronized clock.
+
+    Attributes:
+        max_skew: Maximum absolute offset (seconds) of a node's clock from
+            true time at initialization. Datacenter time services keep this
+            in the low-millisecond or microsecond range.
+        drift_ppm: Clock drift in parts-per-million. A value of 50 means the
+            clock gains or loses up to 50 µs per second of true time.
+    """
+
+    max_skew: float = 1e-3
+    drift_ppm: float = 50.0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on nonsensical values."""
+        if self.max_skew < 0:
+            raise ConfigurationError("max_skew must be non-negative")
+        if self.drift_ppm < 0:
+            raise ConfigurationError("drift_ppm must be non-negative")
+
+
+class LooselySynchronizedClock:
+    """A per-node clock with bounded skew and drift.
+
+    The clock converts *true* simulated time (as reported by the simulator)
+    into the node's local reading. The mapping is affine:
+    ``local = true * (1 + drift) + offset``.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClockConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.config = config or ClockConfig()
+        self.config.validate()
+        rng = rng or random.Random(0)
+        self._offset = rng.uniform(-self.config.max_skew, self.config.max_skew)
+        drift_fraction = self.config.drift_ppm * 1e-6
+        self._drift = rng.uniform(-drift_fraction, drift_fraction)
+
+    @property
+    def offset(self) -> float:
+        """The fixed offset of this clock from true time (seconds)."""
+        return self._offset
+
+    @property
+    def drift(self) -> float:
+        """Fractional drift rate of this clock (e.g. 5e-5 for 50 ppm)."""
+        return self._drift
+
+    def read(self, true_time: float) -> float:
+        """Return the node-local reading for the given true simulated time."""
+        return true_time * (1.0 + self._drift) + self._offset
+
+    def max_divergence(self, true_time: float, other: "LooselySynchronizedClock") -> float:
+        """Upper bound on the divergence between this clock and ``other``.
+
+        Used by tests to assert that lease safety margins cover clock error.
+        """
+        return abs(self.read(true_time) - other.read(true_time))

@@ -1,0 +1,210 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic calendar-queue simulator: callbacks are scheduled at
+absolute simulated times and executed in time order. Ties are broken by
+insertion order so that runs are fully deterministic for a given seed and
+schedule of calls.
+
+Times are expressed in **seconds** of simulated time throughout the library;
+microsecond-scale datacenter latencies therefore appear as values around
+``2e-6``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationDeadlock, SimulationError
+
+
+class EventHandle:
+    """Handle to a scheduled event, usable to cancel it.
+
+    Cancellation is lazy: the event stays in the heap but is skipped when it
+    is popped. This keeps ``cancel`` O(1), which matters because protocols
+    cancel many timers (e.g. message-loss timeouts that did not fire).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[..., None]] = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Cancel the event; it will not be executed."""
+        self.cancelled = True
+        self.callback = None
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.9f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.0, print, "one second elapsed")
+        sim.run()
+
+    The simulator does not know anything about nodes or networks; those are
+    layered on top (see :mod:`repro.sim.node` and :mod:`repro.sim.network`).
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._events_executed = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks executed so far (useful for budget checks)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._heap)
+
+    # ------------------------------------------------------------ scheduling
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Args:
+            delay: Non-negative delay in simulated seconds.
+            callback: Callable invoked when the event fires.
+            *args: Positional arguments passed to the callback.
+
+        Returns:
+            An :class:`EventHandle` that can be used to cancel the event.
+
+        Raises:
+            SimulationError: if ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        handle = EventHandle(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at the current simulated time."""
+        return self.schedule_at(self._now, callback, *args)
+
+    # --------------------------------------------------------------- running
+    def stop(self) -> None:
+        """Request that the current :meth:`run` call return promptly."""
+        self._stopped = True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the event loop.
+
+        Args:
+            until: If given, stop once simulated time would exceed this value.
+                Events scheduled exactly at ``until`` are executed.
+            max_events: If given, stop after executing this many events. Used
+                by tests as a runaway guard.
+
+        Returns:
+            The simulated time when the run stopped.
+        """
+        self._running = True
+        self._stopped = False
+        executed_this_run = 0
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                if max_events is not None and executed_this_run >= max_events:
+                    break
+                handle = self._heap[0]
+                if handle.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and handle.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._heap)
+                self._now = handle.time
+                callback, args = handle.callback, handle.args
+                handle.callback = None
+                handle.args = ()
+                assert callback is not None
+                callback(*args)
+                self._events_executed += 1
+                executed_this_run += 1
+            else:
+                # Queue drained.
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        check_interval: float = 1e-4,
+        max_time: Optional[float] = None,
+    ) -> float:
+        """Run until ``predicate()`` is true, checking after every event batch.
+
+        Args:
+            predicate: Zero-argument callable evaluated periodically.
+            check_interval: How much simulated time to advance between checks.
+            max_time: Optional hard cap on simulated time.
+
+        Returns:
+            Simulated time when the predicate first held.
+
+        Raises:
+            SimulationDeadlock: if the event queue drains (or ``max_time`` is
+                reached) before the predicate becomes true.
+        """
+        while not predicate():
+            if max_time is not None and self._now >= max_time:
+                raise SimulationDeadlock(
+                    f"predicate not satisfied by max_time={max_time} (now={self._now})"
+                )
+            if not self._heap:
+                raise SimulationDeadlock(
+                    "event queue drained before run_until predicate was satisfied"
+                )
+            target = self._now + check_interval
+            if max_time is not None:
+                target = min(target, max_time)
+            self.run(until=target)
+        return self._now

@@ -1,0 +1,276 @@
+"""Datacenter network model.
+
+Models an RDMA-class datacenter fabric at the level of detail needed for
+protocol comparison:
+
+* one-way latency with jitter (microsecond scale by default),
+* a per-byte serialization cost (bandwidth),
+* message loss, duplication and reordering (paper §3.4 "Imperfect Links"),
+* network partitions (paper §3.4 "Network Partitions"),
+* crashed receivers silently dropping traffic.
+
+The model delivers messages by invoking a receiver callback registered per
+node; the callback is typically :meth:`repro.sim.node.NodeProcess.deliver`,
+which adds CPU queueing on top of network latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+import random
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import Simulator
+from repro.types import NodeId
+
+#: Signature of a per-node receive callback: ``receiver(src, message, size_bytes)``.
+ReceiveCallback = Callable[[NodeId, Any, int], None]
+
+#: Default application-level header size in bytes (UD send + Wings header).
+DEFAULT_HEADER_BYTES = 42
+
+
+@dataclass
+class NetworkConfig:
+    """Configuration of the network fabric.
+
+    Attributes:
+        base_latency: Mean one-way propagation + switching latency in seconds.
+            The paper's InfiniBand fabric has ~1-2 µs one-way latency.
+        jitter: Fractional latency jitter; the actual latency of each message
+            is drawn uniformly from ``base_latency * [1 - jitter, 1 + jitter]``.
+        per_byte_latency: Serialization delay per payload byte (seconds/byte).
+            56 Gb/s corresponds to roughly 1.4e-10 s/byte.
+        loss_rate: Probability that a message is silently dropped.
+        duplicate_rate: Probability that a delivered message is delivered a
+            second time (with independent latency).
+        reorder_rate: Probability that a message receives an extra random
+            delay, causing it to be overtaken by later messages.
+        reorder_extra_latency: Maximum extra delay applied to reordered
+            messages (uniform in ``[0, reorder_extra_latency]``).
+        header_bytes: Fixed per-message header overhead added to payload size.
+    """
+
+    base_latency: float = 2e-6
+    jitter: float = 0.1
+    per_byte_latency: float = 1.4e-10
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_extra_latency: float = 20e-6
+    header_bytes: int = DEFAULT_HEADER_BYTES
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` for invalid settings."""
+        if self.base_latency < 0:
+            raise ConfigurationError("base_latency must be non-negative")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError("jitter must be within [0, 1]")
+        for name in ("loss_rate", "duplicate_rate", "reorder_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be a probability in [0, 1]")
+        if self.per_byte_latency < 0:
+            raise ConfigurationError("per_byte_latency must be non-negative")
+        if self.header_bytes < 0:
+            raise ConfigurationError("header_bytes must be non-negative")
+
+
+@dataclass
+class Partition:
+    """A network partition: nodes in different groups cannot communicate.
+
+    Attributes:
+        groups: Disjoint sets of node ids. Nodes absent from every group are
+            treated as a singleton group (isolated from all listed groups and
+            from each other).
+    """
+
+    groups: Tuple[FrozenSet[NodeId], ...]
+
+    @classmethod
+    def split(cls, *groups: Iterable[NodeId]) -> "Partition":
+        """Build a partition from one iterable of node ids per group."""
+        frozen = tuple(frozenset(g) for g in groups)
+        seen: Set[NodeId] = set()
+        for group in frozen:
+            overlap = seen & group
+            if overlap:
+                raise ConfigurationError(f"partition groups overlap on nodes {sorted(overlap)}")
+            seen |= group
+        return cls(groups=frozen)
+
+    def allows(self, src: NodeId, dst: NodeId) -> bool:
+        """Whether a message from ``src`` to ``dst`` can cross this partition."""
+        src_group = self._group_of(src)
+        dst_group = self._group_of(dst)
+        if src_group is None or dst_group is None:
+            # A node not listed in any group is isolated.
+            return src == dst
+        return src_group is dst_group
+
+    def _group_of(self, node: NodeId) -> Optional[FrozenSet[NodeId]]:
+        for group in self.groups:
+            if node in group:
+                return group
+        return None
+
+
+@dataclass
+class NetworkStats:
+    """Counters describing what the network has done so far."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped_loss: int = 0
+    messages_dropped_partition: int = 0
+    messages_dropped_crashed: int = 0
+    messages_duplicated: int = 0
+    bytes_sent: int = 0
+
+
+class Network:
+    """The simulated network fabric connecting all nodes.
+
+    Nodes register a receive callback with :meth:`register`; other components
+    (protocol nodes, clients) send messages with :meth:`send` or
+    :meth:`broadcast`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: Optional[NetworkConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.config.validate()
+        self._rng = rng or random.Random(0)
+        self._receivers: Dict[NodeId, ReceiveCallback] = {}
+        self._crashed: Set[NodeId] = set()
+        self._partition: Optional[Partition] = None
+        self.stats = NetworkStats()
+
+    # ---------------------------------------------------------- registration
+    def register(self, node_id: NodeId, receiver: ReceiveCallback) -> None:
+        """Register the receive callback for ``node_id``.
+
+        Re-registering replaces the previous callback (used when a node
+        restarts after a crash).
+        """
+        self._receivers[node_id] = receiver
+
+    def unregister(self, node_id: NodeId) -> None:
+        """Remove a node from the network entirely."""
+        self._receivers.pop(node_id, None)
+        self._crashed.discard(node_id)
+
+    @property
+    def node_ids(self) -> List[NodeId]:
+        """All registered node ids, sorted."""
+        return sorted(self._receivers)
+
+    # --------------------------------------------------------------- faults
+    def crash(self, node_id: NodeId) -> None:
+        """Mark a node as crashed; all traffic to it is dropped."""
+        self._crashed.add(node_id)
+
+    def recover(self, node_id: NodeId) -> None:
+        """Clear the crashed flag for a node."""
+        self._crashed.discard(node_id)
+
+    def is_crashed(self, node_id: NodeId) -> bool:
+        """Whether the node is currently marked crashed."""
+        return node_id in self._crashed
+
+    def set_partition(self, partition: Optional[Partition]) -> None:
+        """Install (or clear, with ``None``) a network partition."""
+        self._partition = partition
+
+    @property
+    def partition(self) -> Optional[Partition]:
+        """The currently installed partition, if any."""
+        return self._partition
+
+    # -------------------------------------------------------------- sending
+    def send(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        message: Any,
+        size_bytes: int = 0,
+    ) -> None:
+        """Send ``message`` from ``src`` to ``dst``.
+
+        The message is subject to loss, duplication, reordering, partitions
+        and crash filtering per the network configuration. Delivery happens
+        by scheduling the destination's receive callback after the computed
+        network latency.
+        """
+        if dst not in self._receivers:
+            raise SimulationError(f"destination node {dst} is not registered on the network")
+        cfg = self.config
+        total_bytes = size_bytes + cfg.header_bytes
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += total_bytes
+
+        if src in self._crashed:
+            # A crashed node emits nothing.
+            self.stats.messages_dropped_crashed += 1
+            return
+        if self._partition is not None and not self._partition.allows(src, dst):
+            self.stats.messages_dropped_partition += 1
+            return
+        if cfg.loss_rate > 0.0 and self._rng.random() < cfg.loss_rate:
+            self.stats.messages_dropped_loss += 1
+            return
+
+        self._schedule_delivery(src, dst, message, total_bytes)
+        if cfg.duplicate_rate > 0.0 and self._rng.random() < cfg.duplicate_rate:
+            self.stats.messages_duplicated += 1
+            self._schedule_delivery(src, dst, message, total_bytes)
+
+    def broadcast(
+        self,
+        src: NodeId,
+        destinations: Iterable[NodeId],
+        message: Any,
+        size_bytes: int = 0,
+    ) -> None:
+        """Send ``message`` from ``src`` to every node in ``destinations``.
+
+        Matches the Wings software broadcast primitive: a series of unicasts
+        sharing one payload (paper §4.2).
+        """
+        for dst in destinations:
+            if dst == src:
+                continue
+            self.send(src, dst, message, size_bytes)
+
+    # -------------------------------------------------------------- internal
+    def _schedule_delivery(self, src: NodeId, dst: NodeId, message: Any, total_bytes: int) -> None:
+        latency = self._sample_latency(total_bytes)
+        self.sim.schedule(latency, self._deliver, src, dst, message, total_bytes)
+
+    def _sample_latency(self, total_bytes: int) -> float:
+        cfg = self.config
+        latency = cfg.base_latency
+        if cfg.jitter > 0.0:
+            latency *= 1.0 + self._rng.uniform(-cfg.jitter, cfg.jitter)
+        latency += total_bytes * cfg.per_byte_latency
+        if cfg.reorder_rate > 0.0 and self._rng.random() < cfg.reorder_rate:
+            latency += self._rng.uniform(0.0, cfg.reorder_extra_latency)
+        return latency
+
+    def _deliver(self, src: NodeId, dst: NodeId, message: Any, total_bytes: int) -> None:
+        if dst in self._crashed:
+            self.stats.messages_dropped_crashed += 1
+            return
+        receiver = self._receivers.get(dst)
+        if receiver is None:
+            self.stats.messages_dropped_crashed += 1
+            return
+        self.stats.messages_delivered += 1
+        receiver(src, message, total_bytes)

@@ -1,0 +1,205 @@
+"""Simulated node processes with a CPU service-time model.
+
+A :class:`NodeProcess` represents one server in the deployment. Incoming
+messages (from the network or from co-located clients) are queued and
+processed serially; each message occupies the node's CPU for a configurable
+service time. This captures the queueing behaviour that produces the
+throughput saturation and tail-latency effects central to the paper's
+evaluation (e.g. the ZAB leader bottleneck and the CRAQ tail-node hotspot).
+
+Multi-threaded worker models (the paper uses ~20 worker threads per machine)
+are approximated by dividing per-message service time by ``worker_threads``,
+i.e. an M/G/1 approximation of an M/G/k server. This preserves relative
+protocol behaviour, which is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.network import Network
+from repro.types import NodeId
+
+
+@dataclass
+class ServiceTimeModel:
+    """Per-message CPU cost model for a node.
+
+    Attributes:
+        base: Fixed CPU time (seconds) to handle any message or local client
+            request — decoding, KVS access, protocol bookkeeping.
+        per_byte: Additional CPU time per payload byte (copying cost).
+        send_overhead: Fixed CPU time to post one outgoing message (work
+            request creation, doorbell). Charging this per send is what makes
+            centralized senders (a ZAB leader, a Hermes coordinator) pay for
+            their fan-out.
+        worker_threads: Number of worker threads; effective service time is
+            divided by this value (parallel workers approximation).
+    """
+
+    base: float = 0.25e-6
+    per_byte: float = 0.4e-9
+    send_overhead: float = 0.12e-6
+    worker_threads: int = 20
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` for invalid settings."""
+        if self.base < 0 or self.per_byte < 0 or self.send_overhead < 0:
+            raise ConfigurationError("service times must be non-negative")
+        if self.worker_threads < 1:
+            raise ConfigurationError("worker_threads must be >= 1")
+
+    def cost(self, size_bytes: int, weight: float = 1.0) -> float:
+        """CPU time to process a message of ``size_bytes`` payload bytes.
+
+        Args:
+            size_bytes: Payload size of the message being handled.
+            weight: Multiplier for messages that are inherently more expensive
+                (e.g. a leader serializing a proposal).
+        """
+        raw = (self.base + size_bytes * self.per_byte) * weight
+        return raw / self.worker_threads
+
+    def send_cost(self, size_bytes: int) -> float:
+        """CPU time to post one outgoing message of ``size_bytes`` bytes."""
+        raw = self.send_overhead + size_bytes * self.per_byte * 0.5
+        return raw / self.worker_threads
+
+
+class NodeProcess:
+    """Base class for simulated server processes.
+
+    Subclasses override :meth:`on_message` (network traffic) and optionally
+    :meth:`on_local_work` (locally submitted work items such as client
+    requests routed to this node). Both run under the CPU queueing model.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        sim: Simulator,
+        network: Network,
+        service_model: Optional[ServiceTimeModel] = None,
+    ) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.service_model = service_model or ServiceTimeModel()
+        self.service_model.validate()
+        self._cpu_free_at: float = 0.0
+        self._crashed = False
+        self._queue_depth = 0
+        self.messages_processed = 0
+        network.register(node_id, self.deliver)
+
+    # ------------------------------------------------------------ properties
+    @property
+    def crashed(self) -> bool:
+        """Whether this node is currently crashed."""
+        return self._crashed
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of messages/work items awaiting or under processing."""
+        return self._queue_depth
+
+    # --------------------------------------------------------------- faults
+    def crash(self) -> None:
+        """Crash the node: stop processing and drop all queued work."""
+        self._crashed = True
+        self.network.crash(self.node_id)
+
+    def recover(self) -> None:
+        """Clear the crashed flag (protocol-level recovery is separate)."""
+        self._crashed = False
+        self.network.recover(self.node_id)
+        self._cpu_free_at = self.sim.now
+
+    # ------------------------------------------------------------- messaging
+    def deliver(self, src: NodeId, message: Any, size_bytes: int) -> None:
+        """Network receive callback: queue the message for CPU processing."""
+        if self._crashed:
+            return
+        self._enqueue(size_bytes, 1.0, self.on_message, src, message)
+
+    def submit_local(self, work: Any, size_bytes: int = 0, weight: float = 1.0) -> None:
+        """Submit a local work item (e.g. a client request) to this node."""
+        if self._crashed:
+            return
+        self._enqueue(size_bytes, weight, self.on_local_work, work)
+
+    def send(self, dst: NodeId, message: Any, size_bytes: int = 0) -> None:
+        """Send a message to another node, charging send CPU (no-op when crashed)."""
+        if self._crashed:
+            return
+        self.charge_send(size_bytes)
+        self.network.send(self.node_id, dst, message, size_bytes)
+
+    def broadcast(self, destinations, message: Any, size_bytes: int = 0) -> None:
+        """Broadcast a message to the given destinations (excluding self)."""
+        if self._crashed:
+            return
+        for dst in destinations:
+            if dst == self.node_id:
+                continue
+            self.send(dst, message, size_bytes)
+
+    def charge_send(self, size_bytes: int = 0) -> None:
+        """Account the CPU cost of posting one outgoing message."""
+        cost = self.service_model.send_cost(size_bytes)
+        self._cpu_free_at = max(self.sim.now, self._cpu_free_at) + cost
+
+    def charge_cpu(self, size_bytes: int = 0, weight: float = 1.0) -> None:
+        """Account additional CPU work performed inside the current handler.
+
+        Used by protocols whose work cannot be spread across worker threads —
+        e.g. a ZAB leader's write ordering or a Derecho sequencer's round
+        management runs on a single serialization thread, so it is charged at
+        ``weight = worker_threads`` to undo the parallel-workers division.
+        """
+        cost = self.service_model.cost(size_bytes, weight)
+        self._cpu_free_at = max(self.sim.now, self._cpu_free_at) + cost
+
+    def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule a timer on this node; fires unless the node has crashed."""
+        return self.sim.schedule(delay, self._timer_fired, callback, args)
+
+    # ---------------------------------------------------------------- hooks
+    def on_message(self, src: NodeId, message: Any) -> None:
+        """Handle a network message. Subclasses override."""
+        raise NotImplementedError
+
+    def on_local_work(self, work: Any) -> None:
+        """Handle a locally submitted work item. Subclasses may override."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------- internals
+    def _enqueue(
+        self,
+        size_bytes: int,
+        weight: float,
+        handler: Callable[..., None],
+        *args: Any,
+    ) -> None:
+        service = self.service_model.cost(size_bytes, weight)
+        start = max(self.sim.now, self._cpu_free_at)
+        finish = start + service
+        self._cpu_free_at = finish
+        self._queue_depth += 1
+        self.sim.schedule_at(finish, self._process, handler, args)
+
+    def _process(self, handler: Callable[..., None], args: Tuple[Any, ...]) -> None:
+        self._queue_depth -= 1
+        if self._crashed:
+            return
+        self.messages_processed += 1
+        handler(*args)
+
+    def _timer_fired(self, callback: Callable[..., None], args: Tuple[Any, ...]) -> None:
+        if self._crashed:
+            return
+        callback(*args)

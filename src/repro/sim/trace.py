@@ -1,0 +1,68 @@
+"""Lightweight event tracing.
+
+Protocol nodes and the cluster harness can emit trace events describing what
+happened (message sent, state transition, write committed, ...). Tracing is
+disabled by default; tests and debugging sessions enable it to inspect
+executions, and the verification package uses it to cross-check invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """A single trace record.
+
+    Attributes:
+        time: Simulated time of the event.
+        node: Node on which the event occurred (or -1 for global events).
+        category: Short category tag, e.g. ``"inv"``, ``"commit"``, ``"crash"``.
+        detail: Free-form payload describing the event.
+    """
+
+    time: float
+    node: int
+    category: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records when enabled."""
+
+    def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, time: float, node: int, category: str, **detail: Any) -> None:
+        """Record an event if tracing is enabled (cheap no-op otherwise)."""
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self.dropped += 1
+            return
+        self._events.append(TraceEvent(time=time, node=node, category=category, detail=detail))
+
+    def events(self, category: Optional[str] = None, node: Optional[int] = None) -> List[TraceEvent]:
+        """Return recorded events, optionally filtered by category and node."""
+        result = self._events
+        if category is not None:
+            result = [e for e in result if e.category == category]
+        if node is not None:
+            result = [e for e in result if e.node == node]
+        return list(result)
+
+    def clear(self) -> None:
+        """Discard all recorded events."""
+        self._events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)

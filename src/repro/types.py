@@ -1,0 +1,138 @@
+"""Common value types shared across the library.
+
+The library deals with a small set of domain concepts that appear in nearly
+every subsystem: node identifiers, keys, values, operation kinds, and client
+request/response records. Keeping them in a single module avoids circular
+imports between the protocol packages and the simulation substrate.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: Identifier of a replica node. Small non-negative integers.
+NodeId = int
+
+#: Key type. Keys are opaque; the library uses integers for speed but any
+#: hashable value works with the stores and protocols.
+Key = Any
+
+#: Value type. Values are opaque payloads; benchmarks use ``bytes`` of a
+#: configurable size, tests frequently use ints or strings.
+Value = Any
+
+
+class OpType(enum.Enum):
+    """Kind of client operation submitted to a replicated datastore."""
+
+    READ = "read"
+    WRITE = "write"
+    RMW = "rmw"
+
+    @property
+    def is_update(self) -> bool:
+        """Whether the operation mutates the datastore (write or RMW)."""
+        return self is not OpType.READ
+
+
+class OpStatus(enum.Enum):
+    """Terminal status of a client operation."""
+
+    OK = "ok"
+    #: An RMW lost to a concurrent conflicting update (paper §3.6).
+    ABORTED = "aborted"
+    #: The request could not complete before the run ended (e.g. stalled on
+    #: an invalidated key during a membership transition).
+    TIMEOUT = "timeout"
+    #: The serving node was not operational (no valid lease / crashed).
+    UNAVAILABLE = "unavailable"
+
+
+_op_id_counter = itertools.count(1)
+
+
+def next_op_id() -> int:
+    """Return a process-wide unique operation identifier.
+
+    Operation ids are only used for bookkeeping (history recording, request
+    tracking); uniqueness within a single Python process is sufficient.
+    """
+    return next(_op_id_counter)
+
+
+@dataclass
+class Operation:
+    """A client operation submitted to the replicated datastore.
+
+    Attributes:
+        op_type: Kind of operation (read / write / RMW).
+        key: Target key.
+        value: Payload for writes; ignored for reads. For RMWs this is the
+            value to install if the RMW commits (the "modify" result).
+        op_id: Unique identifier assigned at creation.
+        client_id: Identifier of the issuing client session.
+        compare: Optional expected value for compare-and-swap style RMWs.
+    """
+
+    op_type: OpType
+    key: Key
+    value: Value = None
+    op_id: int = field(default_factory=next_op_id)
+    client_id: int = 0
+    compare: Optional[Value] = None
+
+    @classmethod
+    def read(cls, key: Key, client_id: int = 0) -> "Operation":
+        """Construct a read operation."""
+        return cls(OpType.READ, key, client_id=client_id)
+
+    @classmethod
+    def write(cls, key: Key, value: Value, client_id: int = 0) -> "Operation":
+        """Construct a write operation."""
+        return cls(OpType.WRITE, key, value=value, client_id=client_id)
+
+    @classmethod
+    def rmw(
+        cls,
+        key: Key,
+        value: Value,
+        compare: Optional[Value] = None,
+        client_id: int = 0,
+    ) -> "Operation":
+        """Construct a read-modify-write (e.g. compare-and-swap)."""
+        return cls(OpType.RMW, key, value=value, compare=compare, client_id=client_id)
+
+
+@dataclass
+class OperationResult:
+    """Outcome of a completed client operation.
+
+    Attributes:
+        op: The originating operation.
+        status: Terminal status.
+        value: Returned value (for reads and successful RMWs this is the value
+            observed; for writes it is the written value).
+        start_time: Simulated time at which the operation was invoked.
+        end_time: Simulated time at which the operation completed.
+        served_by: Node that served/coordinated the operation.
+    """
+
+    op: Operation
+    status: OpStatus
+    value: Value = None
+    start_time: float = 0.0
+    end_time: float = 0.0
+    served_by: Optional[NodeId] = None
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency of the operation in simulated seconds."""
+        return self.end_time - self.start_time
+
+    @property
+    def ok(self) -> bool:
+        """True if the operation completed successfully."""
+        return self.status is OpStatus.OK

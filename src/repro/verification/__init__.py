@@ -1,0 +1,33 @@
+"""Execution verification.
+
+The paper model-checks Hermes in TLA+ for safety (linearizability) and
+absence of deadlock under message reordering, duplication and crash-stop
+failures. The Python reproduction checks the same properties on concrete
+executions:
+
+* :mod:`repro.verification.history` — records invocation/response histories
+  of client operations.
+* :mod:`repro.verification.linearizability` — a per-key linearizability
+  checker (Wing & Gong style search with memoization) applied to recorded
+  histories, including histories produced under fault injection.
+* :mod:`repro.verification.invariants` — cluster-level invariants such as
+  replica convergence after quiescence.
+"""
+
+from repro.verification.history import CompletedOperation, History
+from repro.verification.invariants import (
+    check_no_pending_updates,
+    check_replica_convergence,
+    check_values_from_history,
+)
+from repro.verification.linearizability import LinearizabilityChecker, check_history
+
+__all__ = [
+    "CompletedOperation",
+    "History",
+    "LinearizabilityChecker",
+    "check_history",
+    "check_no_pending_updates",
+    "check_replica_convergence",
+    "check_values_from_history",
+]

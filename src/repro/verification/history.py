@@ -1,0 +1,117 @@
+"""Operation history recording.
+
+A :class:`History` collects the invocation and response of every client
+operation in an execution. Histories are the input to the linearizability
+checker and to several integration tests (e.g. "a committed write is visible
+to subsequent reads").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import HistoryError
+from repro.types import Key, Operation, OpStatus, OpType, Value
+
+
+@dataclass
+class CompletedOperation:
+    """One operation with both endpoints recorded.
+
+    Attributes:
+        op: The client operation.
+        invoke_time: Simulated time of invocation.
+        response_time: Simulated time of completion (``None`` while pending).
+        status: Terminal status (``None`` while pending).
+        result: Value returned to the client (reads and RMWs).
+    """
+
+    op: Operation
+    invoke_time: float
+    response_time: Optional[float] = None
+    status: Optional[OpStatus] = None
+    result: Value = None
+
+    @property
+    def completed(self) -> bool:
+        """Whether the response has been recorded."""
+        return self.response_time is not None
+
+    @property
+    def key(self) -> Key:
+        """The operation's target key."""
+        return self.op.key
+
+
+class History:
+    """An invocation/response history of client operations."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, CompletedOperation] = {}
+        self._order: List[int] = []
+
+    # -------------------------------------------------------------- recording
+    def invoke(self, op: Operation, time: float) -> None:
+        """Record the invocation of an operation.
+
+        Raises:
+            HistoryError: if the operation was already invoked.
+        """
+        if op.op_id in self._records:
+            raise HistoryError(f"operation {op.op_id} invoked twice")
+        self._records[op.op_id] = CompletedOperation(op=op, invoke_time=time)
+        self._order.append(op.op_id)
+
+    def respond(self, op: Operation, time: float, status: OpStatus, result: Value) -> None:
+        """Record the response of a previously invoked operation.
+
+        Raises:
+            HistoryError: if the operation was never invoked or already
+                responded.
+        """
+        record = self._records.get(op.op_id)
+        if record is None:
+            raise HistoryError(f"response for unknown operation {op.op_id}")
+        if record.completed:
+            raise HistoryError(f"operation {op.op_id} responded twice")
+        record.response_time = time
+        record.status = status
+        record.result = result
+
+    # --------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def operations(self) -> List[CompletedOperation]:
+        """All records in invocation order."""
+        return [self._records[op_id] for op_id in self._order]
+
+    def completed(self) -> List[CompletedOperation]:
+        """Only the records whose response was recorded."""
+        return [record for record in self.operations() if record.completed]
+
+    def pending(self) -> List[CompletedOperation]:
+        """Records invoked but never completed (e.g. lost to a crash)."""
+        return [record for record in self.operations() if not record.completed]
+
+    def per_key(self) -> Dict[Key, List[CompletedOperation]]:
+        """Group records by key (Hermes operations are single-key)."""
+        grouped: Dict[Key, List[CompletedOperation]] = {}
+        for record in self.operations():
+            grouped.setdefault(record.key, []).append(record)
+        return grouped
+
+    def keys(self) -> List[Key]:
+        """Keys appearing in the history."""
+        return list(self.per_key().keys())
+
+    def successful_updates(self, key: Key) -> List[CompletedOperation]:
+        """Committed updates (writes and successful RMWs) for a key."""
+        return [
+            record
+            for record in self.per_key().get(key, [])
+            if record.op.op_type.is_update
+            and record.completed
+            and record.status is OpStatus.OK
+        ]

@@ -1,0 +1,212 @@
+"""Per-key linearizability checking.
+
+Hermes provides single-key linearizable reads, writes and RMWs; because
+linearizability is compositional (paper §2.2), checking each key's
+sub-history independently suffices. The checker implements the classic
+Wing & Gong search: try to build a legal sequential order of the operations
+that respects real-time precedence, memoizing visited configurations
+(Lowe-style) to keep the search tractable.
+
+Register semantics checked per key:
+
+* a read must return the value of the most recently linearized update (or
+  the initial value if none);
+* a successful compare-and-swap RMW must observe its expected value at its
+  linearization point; a failed-compare RMW must observe a different value;
+* updates that never completed (client crashed or run ended) may be
+  linearized or omitted;
+* RMWs reported ABORTED must have had no effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.types import Key, OpStatus, OpType, Value
+from repro.verification.history import CompletedOperation, History
+
+#: Sentinel returned by the apply step when an operation cannot be linearized
+#: at the current point (distinct from ``None``, which is a legal register value).
+_IMPOSSIBLE = object()
+
+
+@dataclass
+class CheckResult:
+    """Outcome of checking one key's sub-history.
+
+    Attributes:
+        key: The key checked.
+        linearizable: Whether a valid linearization exists.
+        operations: Number of operations considered.
+        explored_states: Number of search states explored (diagnostics).
+    """
+
+    key: Key
+    linearizable: bool
+    operations: int
+    explored_states: int
+
+
+class LinearizabilityChecker:
+    """Checks recorded histories for per-key linearizability."""
+
+    def __init__(self, initial_value: Value = None, max_states: int = 2_000_000) -> None:
+        self.initial_value = initial_value
+        self.max_states = max_states
+
+    # ------------------------------------------------------------ public API
+    def check(self, history: History, initial_values: Optional[Dict[Key, Value]] = None) -> List[CheckResult]:
+        """Check every key's sub-history; returns one result per key."""
+        results = []
+        for key, records in history.per_key().items():
+            initial = self.initial_value
+            if initial_values is not None and key in initial_values:
+                initial = initial_values[key]
+            results.append(self.check_key(key, records, initial))
+        return results
+
+    def is_linearizable(self, history: History, initial_values: Optional[Dict[Key, Value]] = None) -> bool:
+        """Whether every key's sub-history is linearizable."""
+        return all(result.linearizable for result in self.check(history, initial_values))
+
+    def check_key(
+        self,
+        key: Key,
+        records: Sequence[CompletedOperation],
+        initial_value: Value = None,
+    ) -> CheckResult:
+        """Check one key's sub-history."""
+        relevant = [r for r in records if self._relevant(r)]
+        explored = [0]
+        ok = self._search(relevant, initial_value, explored)
+        return CheckResult(
+            key=key, linearizable=ok, operations=len(relevant), explored_states=explored[0]
+        )
+
+    # -------------------------------------------------------------- internals
+    @staticmethod
+    def _relevant(record: CompletedOperation) -> bool:
+        if record.op.op_type is OpType.READ and not record.completed:
+            # A read that never returned has no observable effect.
+            return False
+        if record.status is OpStatus.ABORTED:
+            # An aborted RMW must have had no effect; it is excluded from the
+            # order (its absence of effect is what the remaining history must
+            # be consistent with).
+            return False
+        if record.status is OpStatus.UNAVAILABLE:
+            return False
+        return True
+
+    def _search(
+        self,
+        records: List[CompletedOperation],
+        initial_value: Value,
+        explored: List[int],
+    ) -> bool:
+        if not records:
+            return True
+        index_of = {id(record): i for i, record in enumerate(records)}
+        n = len(records)
+        # Precompute values for memoization keys.
+        seen: Set[Tuple[FrozenSet[int], int]] = set()
+
+        def value_key(value: Value) -> int:
+            try:
+                return hash(value)
+            except TypeError:  # pragma: no cover - unhashable values
+                return hash(repr(value))
+
+        def minimal_candidates(remaining: List[CompletedOperation]) -> List[CompletedOperation]:
+            # An operation may be linearized next only if no other remaining
+            # operation *responded* before it was invoked.
+            horizon = min(
+                (r.response_time for r in remaining if r.response_time is not None),
+                default=float("inf"),
+            )
+            return [r for r in remaining if r.invoke_time <= horizon]
+
+        def step(remaining: Tuple[int, ...], value: Value) -> bool:
+            if not remaining:
+                return True
+            explored[0] += 1
+            if explored[0] > self.max_states:
+                # Give up conservatively: report non-linearizable rather than
+                # looping forever. Tests keep histories small enough that the
+                # limit is never hit in practice.
+                return False
+            memo_key = (frozenset(remaining), value_key(value))
+            if memo_key in seen:
+                return False
+            remaining_records = [records[i] for i in remaining]
+            for candidate in minimal_candidates(remaining_records):
+                outcome = self._apply(candidate, value)
+                if outcome is _IMPOSSIBLE:
+                    continue
+                new_value = outcome
+                next_remaining = tuple(i for i in remaining if i != index_of[id(candidate)])
+                if step(next_remaining, new_value):
+                    return True
+            # Pending updates may also be skipped entirely (they may never
+            # have taken effect).
+            pending_skippable = [
+                r
+                for r in remaining_records
+                if not r.completed and r.op.op_type.is_update
+            ]
+            for candidate in pending_skippable:
+                next_remaining = tuple(i for i in remaining if i != index_of[id(candidate)])
+                if step(next_remaining, value):
+                    return True
+            seen.add(memo_key)
+            return False
+
+        return step(tuple(range(n)), initial_value)
+
+    def _apply(self, record: CompletedOperation, value: Value):
+        """Apply one operation at its linearization point.
+
+        Returns:
+            The new register value, or :data:`_IMPOSSIBLE` if the operation
+            cannot be linearized at this point (its observed result
+            contradicts the current value).
+        """
+        op = record.op
+        if op.op_type is OpType.READ:
+            if record.completed and record.result != value:
+                return _IMPOSSIBLE
+            return value
+        if op.op_type is OpType.WRITE:
+            return op.value
+        # RMW: compare-and-swap semantics. A successful install returns the
+        # installed (new) value; a failed compare returns the observed
+        # current value and leaves the register unchanged.
+        if op.compare is not None:
+            if record.completed and record.status is OpStatus.OK:
+                if value == op.compare:
+                    if record.result != op.value:
+                        return _IMPOSSIBLE
+                    return op.value
+                if record.result != value:
+                    return _IMPOSSIBLE
+                return value
+            # Pending RMW: it can only have installed its value if the compare
+            # matched at its linearization point.
+            if value == op.compare:
+                return op.value
+            return value
+        # Unconditional RMW: installs and returns its value.
+        if record.completed and record.status is OpStatus.OK and record.result != op.value:
+            return _IMPOSSIBLE
+        return op.value
+
+
+def check_history(
+    history: History,
+    initial_values: Optional[Dict[Key, Value]] = None,
+    initial_value: Value = None,
+) -> bool:
+    """Convenience wrapper: check an entire history for linearizability."""
+    checker = LinearizabilityChecker(initial_value=initial_value)
+    return checker.is_linearizable(history, initial_values)

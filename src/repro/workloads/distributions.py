@@ -1,0 +1,96 @@
+"""Key-access distributions.
+
+Two distributions cover the paper's evaluation: uniform (Figures 5a, 6a, 6b,
+7, 8, 9) and zipfian with exponent 0.99 (Figures 5b, 6c), the skew used by
+YCSB and by the related systems the paper cites.
+
+Zipfian sampling precomputes the cumulative distribution once and samples
+with binary search, so drawing a key is O(log n) and building the
+distribution is O(n) — fast enough for the paper's one-million-key dataset.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.types import Key
+
+
+class KeyDistribution:
+    """Base class for key-access distributions over ``num_keys`` integer keys."""
+
+    def __init__(self, num_keys: int) -> None:
+        if num_keys < 1:
+            raise WorkloadError("num_keys must be >= 1")
+        self.num_keys = num_keys
+
+    def sample(self, rng: random.Random) -> Key:
+        """Draw one key."""
+        raise NotImplementedError
+
+    def keys(self) -> Sequence[Key]:
+        """The full key space (used for dataset preloading)."""
+        return range(self.num_keys)
+
+
+class UniformKeys(KeyDistribution):
+    """Uniform access over the key space."""
+
+    def sample(self, rng: random.Random) -> Key:
+        """Draw a key uniformly at random."""
+        return rng.randrange(self.num_keys)
+
+
+class ZipfianKeys(KeyDistribution):
+    """Zipfian (power-law) access over the key space.
+
+    Args:
+        num_keys: Size of the key space.
+        exponent: Zipf exponent; the paper (and YCSB) use 0.99.
+        shuffle_seed: If given, key ranks are permuted pseudo-randomly so the
+            hottest keys are not simply 0, 1, 2, ... — useful when key ids
+            carry meaning elsewhere. ``None`` keeps rank order (key 0 is the
+            hottest), which is the simplest to reason about in tests.
+    """
+
+    def __init__(
+        self,
+        num_keys: int,
+        exponent: float = 0.99,
+        shuffle_seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(num_keys)
+        if exponent <= 0:
+            raise WorkloadError("zipfian exponent must be positive")
+        self.exponent = exponent
+        self._cdf: List[float] = []
+        total = 0.0
+        for rank in range(1, num_keys + 1):
+            total += 1.0 / (rank ** exponent)
+            self._cdf.append(total)
+        self._total = total
+        self._permutation: Optional[List[int]] = None
+        if shuffle_seed is not None:
+            permutation = list(range(num_keys))
+            random.Random(shuffle_seed).shuffle(permutation)
+            self._permutation = permutation
+
+    def sample(self, rng: random.Random) -> Key:
+        """Draw a key with zipfian popularity."""
+        target = rng.random() * self._total
+        rank = bisect.bisect_left(self._cdf, target)
+        if rank >= self.num_keys:
+            rank = self.num_keys - 1
+        if self._permutation is not None:
+            return self._permutation[rank]
+        return rank
+
+    def probability_of_rank(self, rank: int) -> float:
+        """Access probability of the key with the given popularity rank."""
+        if not 0 <= rank < self.num_keys:
+            raise WorkloadError(f"rank {rank} out of range")
+        weight = 1.0 / ((rank + 1) ** self.exponent)
+        return weight / self._total

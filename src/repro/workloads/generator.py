@@ -1,0 +1,111 @@
+"""Request-stream generation.
+
+A :class:`WorkloadMix` combines a key distribution with an operation mix
+(write ratio, optional RMW ratio) and a value factory, and produces
+:class:`~repro.types.Operation` objects on demand. Each client session owns
+its own random stream so that runs are deterministic and adding clients does
+not perturb the requests of existing ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional
+
+from repro.errors import WorkloadError
+from repro.types import Key, Operation, OpType, Value
+from repro.workloads.distributions import KeyDistribution, UniformKeys
+
+#: A callable producing the value for a write: ``factory(key, sequence) -> value``.
+ValueFactory = Callable[[Key, int], Value]
+
+
+def sized_value_factory(value_size: int) -> ValueFactory:
+    """Return a factory producing byte payloads of ``value_size`` bytes.
+
+    The payload encodes the key and a per-stream sequence number in its
+    prefix, making every written value unique — a property the
+    linearizability checker exploits.
+    """
+
+    def factory(key: Key, sequence: int) -> bytes:
+        prefix = f"{key}:{sequence}:".encode("ascii")
+        if len(prefix) >= value_size:
+            return prefix[:value_size]
+        return prefix + b"x" * (value_size - len(prefix))
+
+    return factory
+
+
+@dataclass
+class WorkloadMix:
+    """A request mix over a key distribution.
+
+    Attributes:
+        distribution: Key-access distribution.
+        write_ratio: Fraction of operations that are updates (0.0 - 1.0).
+        rmw_ratio: Fraction of *updates* that are RMWs rather than plain
+            writes (Hermes-specific experiments; 0 for the paper's figures).
+        value_size: Size of written values in bytes.
+        value_factory: Optional custom value factory; defaults to unique
+            byte payloads of ``value_size`` bytes.
+        seed: Base seed; per-client streams derive from it.
+    """
+
+    distribution: KeyDistribution
+    write_ratio: float = 0.05
+    rmw_ratio: float = 0.0
+    value_size: int = 32
+    value_factory: Optional[ValueFactory] = None
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise WorkloadError("write_ratio must be within [0, 1]")
+        if not 0.0 <= self.rmw_ratio <= 1.0:
+            raise WorkloadError("rmw_ratio must be within [0, 1]")
+        if self.value_size < 1:
+            raise WorkloadError("value_size must be >= 1")
+        if self.value_factory is None:
+            self.value_factory = sized_value_factory(self.value_size)
+        self._client_rngs: Dict[int, random.Random] = {}
+        self._client_sequences: Dict[int, int] = {}
+
+    @classmethod
+    def uniform(cls, num_keys: int, write_ratio: float, **kwargs) -> "WorkloadMix":
+        """Convenience constructor for a uniform mix."""
+        return cls(distribution=UniformKeys(num_keys), write_ratio=write_ratio, **kwargs)
+
+    # -------------------------------------------------------------- sampling
+    def _rng_for(self, client_id: int) -> random.Random:
+        rng = self._client_rngs.get(client_id)
+        if rng is None:
+            rng = random.Random((self.seed * 1_000_003 + client_id) & 0x7FFFFFFF)
+            self._client_rngs[client_id] = rng
+        return rng
+
+    def next_operation(self, client_id: int) -> Operation:
+        """Produce the next operation for the given client session."""
+        rng = self._rng_for(client_id)
+        key = self.distribution.sample(rng)
+        if rng.random() >= self.write_ratio:
+            return Operation.read(key, client_id=client_id)
+        sequence = self._client_sequences.get(client_id, 0) + 1
+        self._client_sequences[client_id] = sequence
+        assert self.value_factory is not None
+        value = self.value_factory(key, sequence * 1_000 + client_id)
+        if self.rmw_ratio > 0.0 and rng.random() < self.rmw_ratio:
+            return Operation.rmw(key, value, client_id=client_id)
+        return Operation.write(key, value, client_id=client_id)
+
+    def stream(self, client_id: int, count: int) -> Iterator[Operation]:
+        """Yield ``count`` operations for one client."""
+        for _ in range(count):
+            yield self.next_operation(client_id)
+
+    # ------------------------------------------------------------ preloading
+    def initial_dataset(self) -> Dict[Key, Value]:
+        """The initial key → value mapping to preload into every replica."""
+        assert self.value_factory is not None
+        return {key: self.value_factory(key, 0) for key in self.distribution.keys()}

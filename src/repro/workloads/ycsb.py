@@ -1,0 +1,84 @@
+"""YCSB core workload presets.
+
+The Yahoo! Cloud Serving Benchmark (Cooper et al., SoCC'10) defines a small
+family of standard mixes that the paper's skewed experiments reference
+(zipfian 0.99 "as in YCSB"). Exposing the presets lets example applications
+and benchmarks speak the same vocabulary as the literature.
+
+Only the read/update composition is modelled; scans and read-modify-write
+ratios map onto the library's read/write/RMW operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import WorkloadError
+from repro.workloads.distributions import KeyDistribution, UniformKeys, ZipfianKeys
+from repro.workloads.generator import WorkloadMix
+
+
+@dataclass(frozen=True)
+class YcsbPreset:
+    """A named YCSB workload composition.
+
+    Attributes:
+        name: Workload letter (A-F style).
+        description: Human-readable summary.
+        write_ratio: Fraction of updates.
+        rmw_ratio: Fraction of updates that are read-modify-writes.
+        zipfian: Whether the key distribution is zipfian (else uniform).
+    """
+
+    name: str
+    description: str
+    write_ratio: float
+    rmw_ratio: float
+    zipfian: bool
+
+
+#: The standard YCSB core workloads expressed as presets.
+YCSB_PRESETS: Dict[str, YcsbPreset] = {
+    "A": YcsbPreset("A", "update heavy: 50% reads / 50% updates", 0.50, 0.0, True),
+    "B": YcsbPreset("B", "read mostly: 95% reads / 5% updates", 0.05, 0.0, True),
+    "C": YcsbPreset("C", "read only", 0.0, 0.0, True),
+    "D": YcsbPreset("D", "read latest: 95% reads / 5% inserts", 0.05, 0.0, False),
+    "F": YcsbPreset("F", "read-modify-write: 50% reads / 50% RMWs", 0.50, 1.0, True),
+}
+
+
+def ycsb_workload(
+    name: str,
+    num_keys: int = 100_000,
+    value_size: int = 32,
+    zipf_exponent: float = 0.99,
+    seed: int = 1,
+) -> WorkloadMix:
+    """Build a :class:`WorkloadMix` for a named YCSB preset.
+
+    Args:
+        name: Preset letter (see :data:`YCSB_PRESETS`).
+        num_keys: Size of the key space.
+        value_size: Written value size in bytes.
+        zipf_exponent: Exponent used for zipfian presets.
+        seed: Workload seed.
+
+    Raises:
+        WorkloadError: if the preset name is unknown.
+    """
+    preset = YCSB_PRESETS.get(name.upper())
+    if preset is None:
+        raise WorkloadError(f"unknown YCSB preset {name!r}; known: {sorted(YCSB_PRESETS)}")
+    distribution: KeyDistribution
+    if preset.zipfian:
+        distribution = ZipfianKeys(num_keys, exponent=zipf_exponent)
+    else:
+        distribution = UniformKeys(num_keys)
+    return WorkloadMix(
+        distribution=distribution,
+        write_ratio=preset.write_ratio,
+        rmw_ratio=preset.rmw_ratio,
+        value_size=value_size,
+        seed=seed,
+    )

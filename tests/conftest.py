@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.workloads.distributions import UniformKeys
+from repro.workloads.generator import WorkloadMix
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    """A network with deterministic (jitter-free) latency."""
+    return Network(sim, NetworkConfig(jitter=0.0))
+
+
+def make_cluster(protocol: str = "hermes", num_replicas: int = 3, **kwargs) -> Cluster:
+    """Build a small cluster for tests (jitter kept for realism)."""
+    config = ClusterConfig(protocol=protocol, num_replicas=num_replicas, **kwargs)
+    return Cluster(config)
+
+
+@pytest.fixture
+def hermes_cluster() -> Cluster:
+    """A three-node Hermes cluster."""
+    return make_cluster("hermes", 3)
+
+
+@pytest.fixture
+def five_node_hermes() -> Cluster:
+    """A five-node Hermes cluster (the paper's default replication degree)."""
+    return make_cluster("hermes", 5)
+
+
+def small_workload(write_ratio: float = 0.2, num_keys: int = 20, seed: int = 7) -> WorkloadMix:
+    """A small workload over few keys (high contention for protocol stress)."""
+    return WorkloadMix(distribution=UniformKeys(num_keys), write_ratio=write_ratio, seed=seed)
+
+
+def submit_and_run(cluster: Cluster, node_id: int, op, timeout: float = 0.01):
+    """Submit one operation, run the simulation until it completes, return (status, value)."""
+    done = []
+    cluster.replica(node_id).submit(op, lambda o, status, value: done.append((status, value)))
+    cluster.run_until(lambda: bool(done), check_interval=1e-5, max_time=timeout)
+    return done[0]

@@ -1,0 +1,152 @@
+"""Statistics and report-formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.report import format_series, format_table, ratio
+from repro.analysis.stats import (
+    LatencySummary,
+    abort_rate,
+    completed_ok,
+    latency_summary,
+    percentile,
+    throughput,
+    throughput_timeseries,
+)
+from repro.errors import BenchmarkError
+from repro.types import Operation, OperationResult, OpStatus, OpType
+
+
+def result(op, start, end, status=OpStatus.OK):
+    return OperationResult(op=op, status=status, start_time=start, end_time=end)
+
+
+def make_results(latencies, op_factory=lambda i: Operation.read(i)):
+    out = []
+    clock = 0.0
+    for i, latency in enumerate(latencies):
+        out.append(result(op_factory(i), clock, clock + latency))
+        clock += latency
+    return out
+
+
+# --------------------------------------------------------------- percentile
+def test_percentile_basics():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 1.0) == 5.0
+    assert percentile(values, 0.5) == 3.0
+
+
+def test_percentile_interpolates():
+    assert percentile([1.0, 2.0], 0.5) == pytest.approx(1.5)
+
+
+def test_percentile_rejects_empty_and_bad_fraction():
+    with pytest.raises(BenchmarkError):
+        percentile([], 0.5)
+    with pytest.raises(BenchmarkError):
+        percentile([1.0], 1.5)
+
+
+@given(st.lists(st.floats(0.0, 1e3), min_size=1, max_size=50), st.floats(0.0, 1.0))
+def test_percentile_bounded_by_min_max(values, fraction):
+    p = percentile(values, fraction)
+    assert min(values) <= p <= max(values)
+
+
+@given(st.lists(st.floats(0.0, 1e3), min_size=2, max_size=50))
+def test_percentiles_are_monotone(values):
+    assert percentile(values, 0.25) <= percentile(values, 0.75) <= percentile(values, 0.99)
+
+
+# ------------------------------------------------------------------ summary
+def test_latency_summary_counts_and_percentiles():
+    results = make_results([1e-6] * 90 + [100e-6] * 10)
+    summary = latency_summary(results)
+    assert summary.count == 100
+    assert summary.median == pytest.approx(1e-6)
+    assert summary.p99 >= 50e-6
+    assert summary.maximum == pytest.approx(100e-6)
+    assert summary.p99_us == pytest.approx(summary.p99 * 1e6)
+
+
+def test_latency_summary_filters_by_op_type():
+    results = make_results([1e-6] * 10) + make_results(
+        [50e-6] * 10, op_factory=lambda i: Operation.write(i, i)
+    )
+    reads = latency_summary(results, op_type=OpType.READ)
+    writes = latency_summary(results, op_type=OpType.WRITE)
+    assert reads.count == 10 and writes.count == 10
+    assert writes.median > reads.median
+
+
+def test_latency_summary_empty():
+    assert latency_summary([]).count == 0
+    assert LatencySummary.empty().median_us == 0.0
+
+
+def test_latency_summary_excludes_failures_by_default():
+    results = make_results([1e-6] * 5)
+    results.append(result(Operation.read(0), 0.0, 1.0, status=OpStatus.ABORTED))
+    assert latency_summary(results).count == 5
+    assert latency_summary(results, only_ok=False).count == 6
+
+
+# --------------------------------------------------------------- throughput
+def test_throughput_counts_steady_state():
+    results = make_results([1e-3] * 100)
+    tput = throughput(results, warmup_fraction=0.0)
+    assert tput == pytest.approx(1000.0, rel=0.05)
+
+
+def test_throughput_empty_is_zero():
+    assert throughput([]) == 0.0
+
+
+def test_throughput_warmup_discards_early_ops():
+    early = make_results([1e-3] * 10)
+    assert throughput(early, warmup_fraction=0.5) > 0
+
+
+def test_throughput_timeseries_windows():
+    results = make_results([1e-3] * 100)
+    series = throughput_timeseries(results, window=0.01)
+    assert len(series) >= 10
+    assert all(ops >= 0 for _, ops in series)
+    total = sum(ops * 0.01 for _, ops in series)
+    assert total == pytest.approx(100, rel=0.05)
+
+
+def test_throughput_timeseries_requires_positive_window():
+    with pytest.raises(BenchmarkError):
+        throughput_timeseries(make_results([1e-3]), window=0.0)
+
+
+def test_completed_ok_and_abort_rate():
+    results = make_results([1e-6] * 8)
+    results.append(result(Operation.rmw(1, 2), 0.0, 1.0, status=OpStatus.ABORTED))
+    assert completed_ok(results) == 8
+    assert abort_rate(results) == pytest.approx(1 / 9)
+
+
+# ------------------------------------------------------------------- report
+def test_format_table_alignment_and_title():
+    text = format_table(["a", "bb"], [[1, 22], [333, 4]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "| a   | bb |" in lines[1]
+    assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+
+def test_format_series_downsamples():
+    series = [(float(i), float(i * 2)) for i in range(200)]
+    text = format_series(series, max_points=20)
+    assert len(text.splitlines()) <= 25
+
+
+def test_ratio_handles_zero_denominator():
+    assert ratio(1.0, 0.0) == 0.0
+    assert ratio(6.0, 3.0) == 2.0

@@ -1,0 +1,88 @@
+"""The benchmark harness and experiment definitions (smoke-scale runs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import FigureResult, table_2_features
+from repro.bench.harness import ExperimentSpec, Scale, build_workload, run_experiment
+from repro.errors import BenchmarkError
+from repro.workloads.distributions import UniformKeys, ZipfianKeys
+
+
+def tiny_spec(**kwargs) -> ExperimentSpec:
+    defaults = dict(num_keys=200, clients_per_replica=2, ops_per_client=40, num_replicas=3)
+    defaults.update(kwargs)
+    return ExperimentSpec(**defaults)
+
+
+def test_scale_presets_are_ordered():
+    assert Scale.smoke().ops_per_client < Scale.default().ops_per_client
+    assert Scale.default().num_keys < Scale.thorough().num_keys
+
+
+def test_spec_with_scale_overrides_sizes():
+    spec = ExperimentSpec().with_scale(Scale.smoke())
+    assert spec.num_keys == Scale.smoke().num_keys
+    assert spec.ops_per_client == Scale.smoke().ops_per_client
+
+
+def test_build_workload_selects_distribution():
+    assert isinstance(build_workload(tiny_spec()).distribution, UniformKeys)
+    assert isinstance(build_workload(tiny_spec(zipfian_exponent=0.99)).distribution, ZipfianKeys)
+
+
+def test_run_experiment_produces_consistent_result():
+    result = run_experiment(tiny_spec(write_ratio=0.2))
+    expected_ops = 3 * 2 * 40
+    assert len(result.results) == expected_ops
+    assert result.throughput > 0
+    assert result.read_latency.count + result.write_latency.count == expected_ops
+    assert result.duration > 0
+    assert result.cluster_stats["writes_committed"] > 0
+
+
+def test_run_experiment_is_deterministic_for_a_seed():
+    a = run_experiment(tiny_spec(write_ratio=0.2, seed=5))
+    b = run_experiment(tiny_spec(write_ratio=0.2, seed=5))
+    assert a.throughput == pytest.approx(b.throughput)
+    assert a.write_latency.p99 == pytest.approx(b.write_latency.p99)
+
+
+def test_run_experiment_rejects_empty_load():
+    with pytest.raises(BenchmarkError):
+        run_experiment(tiny_spec(ops_per_client=0))
+
+
+def test_run_experiment_records_history_when_requested():
+    result = run_experiment(tiny_spec(write_ratio=0.5, record_history=True))
+    assert result.history is not None
+    assert len(result.history.completed()) == len(result.results)
+
+
+@pytest.mark.parametrize("protocol", ["hermes", "craq", "zab", "cr", "derecho"])
+def test_run_experiment_supports_every_protocol(protocol):
+    result = run_experiment(tiny_spec(protocol=protocol, write_ratio=0.1))
+    assert result.throughput > 0
+
+
+def test_read_latency_lower_than_write_latency_for_hermes():
+    result = run_experiment(tiny_spec(write_ratio=0.3))
+    assert result.read_latency.median < result.write_latency.median
+
+
+def test_table_2_features_rows():
+    table = table_2_features()
+    assert isinstance(table, FigureResult)
+    names = {row[0] for row in table.rows}
+    assert {"Hermes", "CRAQ", "ZAB", "Derecho", "CR"} <= names
+    hermes_row = next(row for row in table.rows if row[0] == "Hermes")
+    assert hermes_row[1] == "yes"  # local reads
+    assert "1" in hermes_row[-1]
+    text = table.table()
+    assert "Hermes" in text and "|" in text
+
+
+def test_figure_result_table_renders():
+    figure = FigureResult(figure="X", headers=["a", "b"], rows=[[1, 2]])
+    assert "X" in figure.table()

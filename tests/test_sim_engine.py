@@ -1,0 +1,176 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationDeadlock, SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_initial_time_is_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_executes_callback(sim):
+    fired = []
+    sim.schedule(1.5, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == pytest.approx(1.5)
+
+
+def test_events_execute_in_time_order(sim):
+    order = []
+    sim.schedule(2.0, order.append, "late")
+    sim.schedule(1.0, order.append, "early")
+    sim.schedule(3.0, order.append, "last")
+    sim.run()
+    assert order == ["early", "late", "last"]
+
+
+def test_ties_break_in_insertion_order(sim):
+    order = []
+    for label in ("first", "second", "third"):
+        sim.schedule(1.0, order.append, label)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_before_now_rejected(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+    assert handle.cancelled
+
+
+def test_run_until_time_boundary(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=2.0)
+    assert fired == ["a"]
+    assert sim.now == pytest.approx(2.0)
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_exact_event_time_includes_event(sim):
+    fired = []
+    sim.schedule(2.0, fired.append, "edge")
+    sim.run(until=2.0)
+    assert fired == ["edge"]
+
+
+def test_run_max_events(sim):
+    fired = []
+    for i in range(10):
+        sim.schedule(i * 0.1, fired.append, i)
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_call_soon_runs_at_current_time(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    times = []
+    sim.call_soon(lambda: times.append(sim.now))
+    sim.run()
+    assert times == [pytest.approx(1.0)]
+
+
+def test_events_scheduled_during_run_are_executed(sim):
+    order = []
+
+    def chain(depth):
+        order.append(depth)
+        if depth < 3:
+            sim.schedule(0.1, chain, depth + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_stop_interrupts_run(sim):
+    fired = []
+
+    def stopper():
+        fired.append("stop")
+        sim.stop()
+
+    sim.schedule(1.0, stopper)
+    sim.schedule(2.0, fired.append, "after")
+    sim.run()
+    assert fired == ["stop"]
+    sim.run()
+    assert fired == ["stop", "after"]
+
+
+def test_run_until_predicate(sim):
+    counter = []
+
+    def tick():
+        counter.append(1)
+        sim.schedule(0.001, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run_until(lambda: len(counter) >= 5, check_interval=0.001)
+    assert len(counter) >= 5
+
+
+def test_run_until_raises_on_drained_queue(sim):
+    sim.schedule(0.1, lambda: None)
+    with pytest.raises(SimulationDeadlock):
+        sim.run_until(lambda: False, check_interval=0.05)
+
+
+def test_run_until_raises_on_max_time(sim):
+    def tick():
+        sim.schedule(0.01, tick)
+
+    sim.schedule(0.0, tick)
+    with pytest.raises(SimulationDeadlock):
+        sim.run_until(lambda: False, check_interval=0.01, max_time=0.1)
+
+
+def test_events_executed_counter(sim):
+    for i in range(5):
+        sim.schedule(i * 0.1, lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_run_past_queue_advances_to_until(sim):
+    sim.schedule(0.1, lambda: None)
+    sim.run(until=5.0)
+    assert sim.now == pytest.approx(5.0)
+
+
+def test_pending_events_count(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0

@@ -1,0 +1,187 @@
+"""Unit and property tests for Hermes timestamps, virtual node ids and key states."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.state import ALLOWED_TRANSITIONS, KeyMeta, KeyState
+from repro.core.timestamps import Timestamp, VirtualNodeIds
+from repro.errors import ConfigurationError, InvalidTransition
+
+
+# --------------------------------------------------------------- timestamps
+def test_zero_timestamp():
+    assert Timestamp.ZERO.version == 0
+    assert Timestamp.ZERO.cid == 0
+
+
+def test_version_dominates_comparison():
+    assert Timestamp(2, 0) > Timestamp(1, 99)
+
+
+def test_cid_breaks_ties():
+    assert Timestamp(1, 3) > Timestamp(1, 2)
+    assert Timestamp(1, 2) < Timestamp(1, 3)
+
+
+def test_equal_timestamps():
+    assert Timestamp(4, 2) == Timestamp(4, 2)
+    assert Timestamp(4, 2) >= Timestamp(4, 2)
+    assert Timestamp(4, 2) <= Timestamp(4, 2)
+
+
+def test_increment_produces_higher_timestamp():
+    ts = Timestamp(3, 1)
+    assert ts.increment(cid=2) > ts
+    assert ts.increment(cid=2, by=2).version == 5
+
+
+def test_increment_rejects_non_positive():
+    with pytest.raises(ConfigurationError):
+        Timestamp.ZERO.increment(cid=1, by=0)
+
+
+def test_concurrent_with():
+    assert Timestamp(3, 1).concurrent_with(Timestamp(3, 2))
+    assert not Timestamp(3, 1).concurrent_with(Timestamp(4, 1))
+    assert not Timestamp(3, 1).concurrent_with(Timestamp(3, 1))
+
+
+@given(
+    st.tuples(st.integers(0, 1000), st.integers(0, 64)),
+    st.tuples(st.integers(0, 1000), st.integers(0, 64)),
+)
+def test_timestamp_ordering_is_total_and_antisymmetric(a, b):
+    ta, tb = Timestamp(*a), Timestamp(*b)
+    assert (ta < tb) or (tb < ta) or (ta == tb)
+    if ta < tb:
+        assert not (tb < ta)
+
+
+@given(
+    st.tuples(st.integers(0, 100), st.integers(0, 8)),
+    st.tuples(st.integers(0, 100), st.integers(0, 8)),
+    st.tuples(st.integers(0, 100), st.integers(0, 8)),
+)
+def test_timestamp_ordering_is_transitive(a, b, c):
+    ta, tb, tc = Timestamp(*a), Timestamp(*b), Timestamp(*c)
+    if ta <= tb and tb <= tc:
+        assert ta <= tc
+
+
+@given(st.tuples(st.integers(0, 1000), st.integers(0, 64)), st.integers(1, 16), st.integers(1, 2))
+def test_increment_is_strictly_monotonic(base, cid, by):
+    ts = Timestamp(*base)
+    assert ts.increment(cid=cid, by=by) > ts
+
+
+# ---------------------------------------------------------- virtual node ids
+def test_virtual_ids_disjoint_across_nodes():
+    nodes = [VirtualNodeIds(node_id=n, num_nodes=3, ids_per_node=4) for n in range(3)]
+    all_ids = [vid for node in nodes for vid in node.ids]
+    assert len(all_ids) == len(set(all_ids))
+
+
+def test_virtual_ids_map_back_to_owner():
+    vids = VirtualNodeIds(node_id=2, num_nodes=5, ids_per_node=3)
+    for vid in vids.ids:
+        assert vids.owner_of(vid) == 2
+        assert vids.owns(vid)
+
+
+def test_virtual_ids_pick_only_owned_ids():
+    vids = VirtualNodeIds(node_id=1, num_nodes=3, ids_per_node=4, rng=random.Random(0))
+    for _ in range(50):
+        assert vids.pick() in vids.ids
+
+
+def test_single_virtual_id_is_node_id():
+    vids = VirtualNodeIds(node_id=4, num_nodes=5, ids_per_node=1)
+    assert vids.pick() == 4
+
+
+def test_virtual_ids_validation():
+    with pytest.raises(ConfigurationError):
+        VirtualNodeIds(node_id=0, num_nodes=0)
+    with pytest.raises(ConfigurationError):
+        VirtualNodeIds(node_id=0, num_nodes=3, ids_per_node=0)
+
+
+@given(st.integers(2, 9), st.integers(1, 6))
+def test_virtual_ids_never_collide_property(num_nodes, ids_per_node):
+    owned = {}
+    for node in range(num_nodes):
+        for vid in VirtualNodeIds(node, num_nodes, ids_per_node).ids:
+            assert vid not in owned, "virtual id assigned to two physical nodes"
+            owned[vid] = node
+
+
+# ------------------------------------------------------------------- states
+def test_default_meta_is_valid_zero():
+    meta = KeyMeta()
+    assert meta.state is KeyState.VALID
+    assert meta.timestamp == Timestamp.ZERO
+    assert meta.readable
+
+
+def test_only_valid_state_is_readable():
+    for state in KeyState:
+        assert state.readable == (state is KeyState.VALID)
+
+
+def test_coordinating_states():
+    assert KeyState.WRITE.coordinating
+    assert KeyState.REPLAY.coordinating
+    assert not KeyState.VALID.coordinating
+    assert not KeyState.INVALID.coordinating
+    assert not KeyState.TRANS.coordinating
+
+
+def test_legal_transition_returns_previous_state():
+    meta = KeyMeta()
+    previous = meta.transition(KeyState.WRITE)
+    assert previous is KeyState.VALID
+    assert meta.state is KeyState.WRITE
+
+
+def test_write_commit_path():
+    meta = KeyMeta()
+    meta.transition(KeyState.WRITE)
+    meta.transition(KeyState.VALID)
+    assert meta.readable
+
+
+def test_superseded_write_path():
+    meta = KeyMeta()
+    meta.transition(KeyState.WRITE)
+    meta.transition(KeyState.TRANS)
+    meta.transition(KeyState.INVALID)
+    meta.transition(KeyState.REPLAY)
+    meta.transition(KeyState.VALID)
+
+
+def test_illegal_transition_rejected():
+    meta = KeyMeta()
+    with pytest.raises(InvalidTransition):
+        meta.transition(KeyState.TRANS)  # VALID cannot jump straight to TRANS
+    with pytest.raises(InvalidTransition):
+        KeyMeta(state=KeyState.TRANS).transition(KeyState.WRITE)
+
+
+def test_transition_table_covers_every_state():
+    assert set(ALLOWED_TRANSITIONS) == set(KeyState)
+
+
+@given(st.lists(st.sampled_from(list(KeyState)), min_size=1, max_size=30))
+def test_random_transition_sequences_never_corrupt_state(sequence):
+    meta = KeyMeta()
+    for target in sequence:
+        if target in ALLOWED_TRANSITIONS[meta.state]:
+            meta.transition(target)
+        else:
+            with pytest.raises(InvalidTransition):
+                meta.transition(target)
+        assert meta.state in KeyState

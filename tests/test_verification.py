@@ -1,0 +1,217 @@
+"""History recording, the linearizability checker and cluster invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HistoryError, VerificationError
+from repro.types import Operation, OpStatus
+from repro.verification.history import History
+from repro.verification.invariants import (
+    check_no_pending_updates,
+    check_replica_convergence,
+    check_values_from_history,
+)
+from repro.verification.linearizability import LinearizabilityChecker, check_history
+from tests.conftest import make_cluster, submit_and_run
+
+
+# ------------------------------------------------------------------ history
+def test_history_records_invoke_and_respond():
+    history = History()
+    op = Operation.write("k", 1)
+    history.invoke(op, 0.0)
+    history.respond(op, 1.0, OpStatus.OK, 1)
+    record = history.operations()[0]
+    assert record.completed
+    assert record.invoke_time == 0.0
+    assert record.response_time == 1.0
+
+
+def test_history_double_invoke_rejected():
+    history = History()
+    op = Operation.read("k")
+    history.invoke(op, 0.0)
+    with pytest.raises(HistoryError):
+        history.invoke(op, 0.1)
+
+
+def test_history_respond_without_invoke_rejected():
+    history = History()
+    with pytest.raises(HistoryError):
+        history.respond(Operation.read("k"), 1.0, OpStatus.OK, None)
+
+
+def test_history_pending_and_completed_partition():
+    history = History()
+    a, b = Operation.write("k", 1), Operation.write("k", 2)
+    history.invoke(a, 0.0)
+    history.invoke(b, 0.1)
+    history.respond(a, 0.2, OpStatus.OK, 1)
+    assert len(history.completed()) == 1
+    assert len(history.pending()) == 1
+
+
+def test_history_per_key_grouping():
+    history = History()
+    for key in ("a", "b", "a"):
+        op = Operation.read(key)
+        history.invoke(op, 0.0)
+        history.respond(op, 0.1, OpStatus.OK, None)
+    grouped = history.per_key()
+    assert len(grouped["a"]) == 2
+    assert len(grouped["b"]) == 1
+
+
+# ------------------------------------------------- linearizability (manual)
+def record(history, op, invoke, respond, status=OpStatus.OK, result=None):
+    history.invoke(op, invoke)
+    if respond is not None:
+        history.respond(op, respond, status, result)
+
+
+def test_sequential_history_is_linearizable():
+    history = History()
+    w = Operation.write("k", 1)
+    r = Operation.read("k")
+    record(history, w, 0.0, 1.0, result=1)
+    record(history, r, 2.0, 3.0, result=1)
+    assert check_history(history)
+
+
+def test_read_of_stale_value_after_write_is_not_linearizable():
+    history = History()
+    w = Operation.write("k", 1)
+    r = Operation.read("k")
+    record(history, w, 0.0, 1.0, result=1)
+    record(history, r, 2.0, 3.0, result=None)  # reads the initial value too late
+    assert not check_history(history)
+
+
+def test_concurrent_write_read_either_value_ok():
+    history = History()
+    w = Operation.write("k", "new")
+    r_old = Operation.read("k")
+    record(history, w, 0.0, 2.0, result="new")
+    record(history, r_old, 0.5, 1.5, result="old")
+    assert check_history(history, initial_values={"k": "old"})
+
+
+def test_read_your_writes_violation_detected():
+    history = History()
+    w1 = Operation.write("k", 1)
+    w2 = Operation.write("k", 2)
+    r = Operation.read("k")
+    record(history, w1, 0.0, 1.0, result=1)
+    record(history, w2, 2.0, 3.0, result=2)
+    record(history, r, 4.0, 5.0, result=1)  # observes the overwritten value
+    assert not check_history(history)
+
+
+def test_pending_write_may_or_may_not_take_effect():
+    history = History()
+    w = Operation.write("k", 1)
+    r = Operation.read("k")
+    record(history, w, 0.0, None)  # never completed
+    record(history, r, 1.0, 2.0, result=None)
+    assert check_history(history)
+    history2 = History()
+    record(history2, Operation.write("k", 1), 0.0, None)
+    record(history2, Operation.read("k"), 1.0, 2.0, result=1)
+    assert check_history(history2)
+
+
+def test_aborted_rmw_must_have_no_effect():
+    history = History()
+    rmw = Operation.rmw("k", "x", compare="init")
+    r = Operation.read("k")
+    record(history, rmw, 0.0, 1.0, status=OpStatus.ABORTED, result=None)
+    record(history, r, 2.0, 3.0, result="init")
+    assert check_history(history, initial_values={"k": "init"})
+    history2 = History()
+    record(history2, Operation.rmw("k", "x", compare="init"), 0.0, 1.0, status=OpStatus.ABORTED)
+    record(history2, Operation.read("k"), 2.0, 3.0, result="x")
+    assert not check_history(history2, initial_values={"k": "init"})
+
+
+def test_cas_success_requires_matching_precondition():
+    history = History()
+    cas = Operation.rmw("k", "held", compare="free")
+    record(history, cas, 0.0, 1.0, result="held")
+    assert check_history(history, initial_values={"k": "free"})
+    history2 = History()
+    cas2 = Operation.rmw("k", "held", compare="free")
+    record(history2, cas2, 0.0, 1.0, result="held")
+    assert not check_history(history2, initial_values={"k": "busy"})
+
+
+def test_two_keys_checked_independently():
+    history = History()
+    record(history, Operation.write("a", 1), 0.0, 1.0, result=1)
+    record(history, Operation.write("b", 2), 0.0, 1.0, result=2)
+    record(history, Operation.read("a"), 2.0, 3.0, result=1)
+    record(history, Operation.read("b"), 2.0, 3.0, result=2)
+    results = LinearizabilityChecker().check(history)
+    assert len(results) == 2
+    assert all(r.linearizable for r in results)
+
+
+def test_checker_reports_operation_counts():
+    history = History()
+    record(history, Operation.write("a", 1), 0.0, 1.0, result=1)
+    record(history, Operation.read("a"), 2.0, 3.0, result=1)
+    result = LinearizabilityChecker().check(history)[0]
+    assert result.operations == 2
+    assert result.explored_states >= 1
+
+
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=8))
+def test_any_serial_history_of_writes_then_reads_is_linearizable(values):
+    history = History()
+    time = 0.0
+    last = None
+    for value in values:
+        w = Operation.write("k", value)
+        record(history, w, time, time + 0.5, result=value)
+        time += 1.0
+        last = value
+    r = Operation.read("k")
+    record(history, r, time, time + 0.5, result=last)
+    assert check_history(history)
+
+
+# ---------------------------------------------------------------- invariants
+def test_convergence_check_passes_after_quiescence(hermes_cluster):
+    hermes_cluster.preload({"k": 0})
+    submit_and_run(hermes_cluster, 0, Operation.write("k", 1))
+    hermes_cluster.run(until=hermes_cluster.sim.now + 0.001)
+    check_replica_convergence(hermes_cluster.replicas.values())
+    check_no_pending_updates(hermes_cluster.replicas.values())
+
+
+def test_convergence_check_detects_divergence(hermes_cluster):
+    hermes_cluster.preload({"k": 0})
+    hermes_cluster.replica(0).store.put("k", "tampered")
+    with pytest.raises(VerificationError):
+        check_replica_convergence(hermes_cluster.replicas.values())
+
+
+def test_values_from_history_check(hermes_cluster):
+    history = History()
+    hermes_cluster.preload({"k": "init"})
+    op = Operation.write("k", "legit")
+    history.invoke(op, 0.0)
+    done = []
+    hermes_cluster.replica(0).submit(op, lambda o, s, v: done.append(s))
+    hermes_cluster.run_until(lambda: bool(done), check_interval=1e-5, max_time=0.01)
+    hermes_cluster.run(until=hermes_cluster.sim.now + 0.001)
+    history.respond(op, hermes_cluster.sim.now, OpStatus.OK, "legit")
+    check_values_from_history(
+        hermes_cluster.replicas.values(), history, initial_dataset={"k": "init"}
+    )
+    hermes_cluster.replica(1).store.put("k", "corrupted")
+    with pytest.raises(VerificationError):
+        check_values_from_history(
+            hermes_cluster.replicas.values(), history, initial_dataset={"k": "init"}
+        )
