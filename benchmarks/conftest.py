@@ -6,9 +6,14 @@ evaluation by calling the corresponding function in
 compared against the paper and pasted into EXPERIMENTS.md), and asserting
 the qualitative shape of the result.
 
-Scale control: set ``REPRO_BENCH_SCALE`` to ``smoke``, ``default`` or
-``thorough``. The default keeps the whole suite at a few minutes of wall
-clock; ``thorough`` tightens the estimates at ~10x the cost.
+Scale control: set ``REPRO_BENCH_SCALE`` to ``smoke``, ``bench``,
+``default`` or ``thorough``. The default keeps the whole suite at a few
+minutes of wall clock; ``thorough`` tightens the estimates at ~10x the cost.
+
+Parallelism: the figure grids fan out across worker processes via
+:mod:`repro.bench.runner`. Set ``REPRO_BENCH_JOBS`` to pin the worker count
+(``1`` forces fully serial runs, which produce bit-for-bit identical
+results).
 """
 
 from __future__ import annotations
@@ -18,27 +23,31 @@ import os
 import pytest
 
 from repro.bench.harness import Scale
-
-_SCALES = {
-    "smoke": Scale.smoke,
-    "default": Scale.default,
-    "thorough": Scale.thorough,
-    # A compact preset tuned so the full figure suite stays fast while still
-    # saturating the protocol bottlenecks the figures are about.
-    "bench": lambda: Scale("bench", num_keys=2_000, clients_per_replica=12, ops_per_client=120),
-}
+from repro.bench.runner import default_jobs, resolve_scale
 
 
 @pytest.fixture(scope="session")
 def scale() -> Scale:
     """The run-size preset used by every benchmark in this session."""
-    name = os.environ.get("REPRO_BENCH_SCALE", "bench").lower()
-    factory = _SCALES.get(name)
-    if factory is None:
-        raise ValueError(f"unknown REPRO_BENCH_SCALE={name!r}; options: {sorted(_SCALES)}")
-    return factory()
+    return resolve_scale(os.environ.get("REPRO_BENCH_SCALE", "bench"))
 
 
-def run_once(benchmark, func, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    """Worker processes used for each figure's experiment grid."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", default_jobs()))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    A fixture (not an importable helper) so benchmark modules need no
+    package-relative imports: plain ``python -m pytest`` at the repo root
+    collects them cleanly.
+    """
+
+    def _run_once(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run_once

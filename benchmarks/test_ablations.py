@@ -9,11 +9,9 @@ from __future__ import annotations
 
 from repro.bench.experiments import ablation_optimizations, ablation_wings_batching
 
-from .conftest import run_once
 
-
-def test_ablation_protocol_optimizations(benchmark, scale):
-    result = run_once(benchmark, ablation_optimizations, scale=scale)
+def test_ablation_protocol_optimizations(run_once, scale, jobs):
+    result = run_once(ablation_optimizations, scale=scale, jobs=jobs)
     print()
     print(result.table())
     baseline = result.data["baseline (O1 on)"]
@@ -30,8 +28,8 @@ def test_ablation_protocol_optimizations(benchmark, scale):
     assert no_o1["messages_sent"] >= baseline["messages_sent"]
 
 
-def test_ablation_wings_batching(benchmark, scale):
-    result = run_once(benchmark, ablation_wings_batching, scale=scale)
+def test_ablation_wings_batching(run_once, scale, jobs):
+    result = run_once(ablation_wings_batching, scale=scale, jobs=jobs)
     print()
     print(result.table())
     direct = result.data["direct"]

@@ -15,12 +15,10 @@ from repro.bench.experiments import (
     figure_6c_latency_skew,
 )
 
-from .conftest import run_once
 
-
-def test_fig6a_latency_vs_throughput(benchmark, scale):
+def test_fig6a_latency_vs_throughput(run_once, scale, jobs):
     result = run_once(
-        benchmark, figure_6a_latency_vs_throughput, scale=scale, client_counts=(2, 6, 12)
+        figure_6a_latency_vs_throughput, scale=scale, client_counts=(2, 6, 12), jobs=jobs
     )
     print()
     print(result.table())
@@ -36,8 +34,8 @@ def test_fig6a_latency_vs_throughput(benchmark, scale):
     assert result.data[("hermes", 12)][0] > result.data[("craq", 12)][0]
 
 
-def test_fig6b_latency_uniform(benchmark, scale):
-    result = run_once(benchmark, figure_6b_latency_uniform, scale=scale)
+def test_fig6b_latency_uniform(run_once, scale, jobs):
+    result = run_once(figure_6b_latency_uniform, scale=scale, jobs=jobs)
     print()
     print(result.table())
     for ratio in (0.05, 0.20, 0.50):
@@ -51,8 +49,8 @@ def test_fig6b_latency_uniform(benchmark, scale):
         assert craq["read_median_us"] < 10
 
 
-def test_fig6c_latency_skew(benchmark, scale):
-    result = run_once(benchmark, figure_6c_latency_skew, scale=scale)
+def test_fig6c_latency_skew(run_once, scale, jobs):
+    result = run_once(figure_6c_latency_skew, scale=scale, jobs=jobs)
     print()
     print(result.table())
     for ratio in (0.20, 0.50):
@@ -64,13 +62,13 @@ def test_fig6c_latency_skew(benchmark, scale):
     assert result.data[("craq", 0.50)]["read_p99_us"] > result.data[("craq", 0.01)]["read_p99_us"]
 
 
-def test_fig6c_skew_hurts_craq_reads_more_than_uniform(benchmark, scale):
+def test_fig6c_skew_hurts_craq_reads_more_than_uniform(run_once, scale, jobs):
     def run():
-        uniform = figure_6b_latency_uniform(scale=scale, seed=3)
-        skewed = figure_6c_latency_skew(scale=scale, seed=3)
+        uniform = figure_6b_latency_uniform(scale=scale, seed=3, jobs=jobs)
+        skewed = figure_6c_latency_skew(scale=scale, seed=3, jobs=jobs)
         return uniform, skewed
 
-    uniform, skewed = run_once(benchmark, run)
+    uniform, skewed = run_once(run)
     craq_uniform = uniform.data[("craq", 0.20)]["read_p99_us"]
     craq_skewed = skewed.data[("craq", 0.20)]["read_p99_us"]
     print()

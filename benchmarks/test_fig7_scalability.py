@@ -10,11 +10,9 @@ from __future__ import annotations
 
 from repro.bench.experiments import figure_7_scalability
 
-from .conftest import run_once
 
-
-def test_fig7_scalability(benchmark, scale):
-    result = run_once(benchmark, figure_7_scalability, scale=scale)
+def test_fig7_scalability(run_once, scale, jobs):
+    result = run_once(figure_7_scalability, scale=scale, jobs=jobs)
     print()
     print(result.table())
 

@@ -8,11 +8,9 @@ from __future__ import annotations
 
 from repro.bench.experiments import figure_8_derecho
 
-from .conftest import run_once
 
-
-def test_fig8_hermes_vs_derecho(benchmark, scale):
-    result = run_once(benchmark, figure_8_derecho, scale=scale)
+def test_fig8_hermes_vs_derecho(run_once, scale, jobs):
+    result = run_once(figure_8_derecho, scale=scale, jobs=jobs)
     print()
     print(result.table())
 

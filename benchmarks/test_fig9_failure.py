@@ -10,12 +10,9 @@ from __future__ import annotations
 
 from repro.bench.experiments import figure_9_failure
 
-from .conftest import run_once
 
-
-def test_fig9_throughput_under_failure(benchmark):
+def test_fig9_throughput_under_failure(run_once):
     result = run_once(
-        benchmark,
         figure_9_failure,
         write_ratio=0.05,
         crash_time=0.060,

@@ -4,11 +4,9 @@ from __future__ import annotations
 
 from repro.bench.experiments import table_2_features
 
-from .conftest import run_once
 
-
-def test_table2_feature_matrix(benchmark):
-    result = run_once(benchmark, table_2_features)
+def test_table2_feature_matrix(run_once):
+    result = run_once(table_2_features)
     print()
     print(result.table())
 

@@ -3,33 +3,55 @@
 
 A miniature version of the paper's headline experiment (Figure 5a / 6a at a
 single point): the same read-mostly workload, the same simulated cluster and
-client population, three different replication protocols. Prints throughput
-and latency percentiles side by side.
+client population, three different replication protocols. The three runs are
+independent, so they fan out across worker processes via
+:mod:`repro.bench.runner`. Prints throughput and latency percentiles side by
+side.
 
 Run with::
 
-    python examples/protocol_comparison.py
+    python examples/protocol_comparison.py [--jobs N]
+
+``--jobs 1`` forces a serial run; the numbers are identical either way.
 """
 
 from __future__ import annotations
 
-from repro import ExperimentSpec, run_experiment
+import argparse
+
+from repro import ExperimentSpec
 from repro.analysis.report import format_table
+from repro.bench.runner import run_cells
+
+PROTOCOLS = ("hermes", "craq", "zab")
 
 
 def main() -> None:
-    rows = []
-    for protocol in ("hermes", "craq", "zab"):
-        spec = ExperimentSpec(
-            protocol=protocol,
-            num_replicas=5,
-            write_ratio=0.05,          # YCSB-B: 95% reads / 5% updates
-            num_keys=2_000,
-            clients_per_replica=10,
-            ops_per_client=150,
-            seed=1,
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes (default: all cores)"
+    )
+    args = parser.parse_args()
+
+    cells = [
+        (
+            protocol,
+            ExperimentSpec(
+                protocol=protocol,
+                num_replicas=5,
+                write_ratio=0.05,          # YCSB-B: 95% reads / 5% updates
+                num_keys=2_000,
+                clients_per_replica=10,
+                ops_per_client=150,
+            ),
         )
-        result = run_experiment(spec)
+        for protocol in PROTOCOLS
+    ]
+    runs = run_cells(cells, root_seed=1, jobs=args.jobs)
+
+    rows = []
+    for protocol in PROTOCOLS:
+        result = runs[protocol]
         rows.append(
             [
                 protocol,

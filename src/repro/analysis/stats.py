@@ -33,8 +33,12 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     rank = fraction * (len(ordered) - 1)
     low = int(rank)
     high = min(low + 1, len(ordered) - 1)
+    if ordered[low] == ordered[high]:
+        # Short-circuit keeps equal neighbours exact; the interpolated form
+        # can differ by an ulp and break percentile monotonicity.
+        return ordered[low]
     weight = rank - low
-    interpolated = ordered[low] * (1.0 - weight) + ordered[high] * weight
+    interpolated = ordered[low] + weight * (ordered[high] - ordered[low])
     # Clamp to the observed range (guards against floating-point overshoot).
     return min(max(interpolated, ordered[0]), ordered[-1])
 
@@ -146,9 +150,11 @@ def throughput_timeseries(
     num_windows = int(horizon / window) + 1
     counts = [0] * num_windows
     for result in usable:
-        index = int(result.end_time / window)
-        if 0 <= index < num_windows:
-            counts[index] += 1
+        # Clamp completions beyond the horizon into the final window so the
+        # series conserves the operation count (Figure 9 availability
+        # timelines would otherwise silently drop late completions).
+        index = min(int(result.end_time / window), num_windows - 1)
+        counts[max(index, 0)] += 1
     return [(i * window, counts[i] / window) for i in range(num_windows)]
 
 

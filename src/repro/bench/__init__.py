@@ -7,7 +7,17 @@
   (5a, 5b, 6a, 6b, 6c, 7, 8, 9, Table 2) plus the ablation studies listed in
   DESIGN.md. The ``benchmarks/`` pytest suite is a thin wrapper around these
   functions; they can also be called directly from scripts or notebooks.
+* :mod:`repro.bench.runner` — the parallel grid runner and ``BENCH_*.json``
+  artifact pipeline (``python -m repro.bench.runner --figure 5 --scale
+  smoke --jobs 8``).
+* :mod:`repro.bench.microbench` — events/sec microbenchmarks for the
+  simulation engine (``python -m repro.bench.microbench``).
 """
+
+# NOTE: repro.bench.runner is deliberately NOT imported here: it is runnable
+# as ``python -m repro.bench.runner`` and importing it from the package
+# __init__ would trigger the double-import RuntimeWarning for that entry
+# point. Import it explicitly (``from repro.bench.runner import run_cells``).
 
 from repro.bench.harness import ExperimentResult, ExperimentSpec, Scale, run_experiment
 from repro.bench.experiments import (

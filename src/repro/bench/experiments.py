@@ -19,7 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
 from repro.analysis.stats import throughput_timeseries
-from repro.bench.harness import ExperimentResult, ExperimentSpec, Scale, run_experiment
+from repro.bench.harness import ExperimentResult, ExperimentSpec, Scale
 from repro.cluster.client import ClosedLoopClient
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.core.config import HermesConfig
@@ -28,6 +28,15 @@ from repro.membership.service import MembershipConfig
 from repro.protocols.base import ReplicaConfig, protocol_registry
 from repro.workloads.distributions import UniformKeys
 from repro.workloads.generator import WorkloadMix
+
+def run_cells(*args, **kwargs):
+    """Proxy to :func:`repro.bench.runner.run_cells`, imported lazily so that
+    ``python -m repro.bench.runner`` does not double-import its own module
+    through this one."""
+    from repro.bench.runner import run_cells as _run_cells
+
+    return _run_cells(*args, **kwargs)
+
 
 #: Write ratios evaluated by Figures 5 and 6 of the paper.
 PAPER_WRITE_RATIOS: Tuple[float, ...] = (0.01, 0.05, 0.20, 0.50, 0.75, 1.00)
@@ -70,41 +79,53 @@ def _throughput_sweep(
     write_ratios: Sequence[float] = PAPER_WRITE_RATIOS,
     num_replicas: int = 5,
     seed: int = 1,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure=figure,
         headers=["write_ratio", *protocols],
         notes="throughput in completed operations per simulated second",
     )
-    for ratio in write_ratios:
-        row: List[object] = [f"{ratio:.0%}"]
-        for protocol in protocols:
-            spec = ExperimentSpec(
+    cells = [
+        (
+            (protocol, ratio),
+            ExperimentSpec(
                 protocol=protocol,
                 num_replicas=num_replicas,
                 write_ratio=ratio,
                 zipfian_exponent=zipfian_exponent,
-                seed=seed,
                 label=figure,
-            ).with_scale(scale)
-            run = run_experiment(spec)
+            ).with_scale(scale),
+        )
+        for ratio in write_ratios
+        for protocol in protocols
+    ]
+    runs = run_cells(cells, root_seed=seed, jobs=jobs)
+    for ratio in write_ratios:
+        row: List[object] = [f"{ratio:.0%}"]
+        for protocol in protocols:
+            run = runs[(protocol, ratio)]
             result.data[(protocol, ratio)] = run.throughput
             row.append(f"{run.throughput:,.0f}")
         result.rows.append(row)
     return result
 
 
-def figure_5a_throughput_uniform(scale: Optional[Scale] = None, seed: int = 1) -> FigureResult:
+def figure_5a_throughput_uniform(
+    scale: Optional[Scale] = None, seed: int = 1, jobs: Optional[int] = None
+) -> FigureResult:
     """Figure 5a: throughput vs write ratio under uniform traffic (5 nodes)."""
     return _throughput_sweep(
-        "Figure 5a (throughput, uniform)", None, scale or Scale.default(), seed=seed
+        "Figure 5a (throughput, uniform)", None, scale or Scale.default(), seed=seed, jobs=jobs
     )
 
 
-def figure_5b_throughput_skew(scale: Optional[Scale] = None, seed: int = 1) -> FigureResult:
+def figure_5b_throughput_skew(
+    scale: Optional[Scale] = None, seed: int = 1, jobs: Optional[int] = None
+) -> FigureResult:
     """Figure 5b: throughput vs write ratio under zipfian(0.99) traffic."""
     return _throughput_sweep(
-        "Figure 5b (throughput, zipfian 0.99)", 0.99, scale or Scale.default(), seed=seed
+        "Figure 5b (throughput, zipfian 0.99)", 0.99, scale or Scale.default(), seed=seed, jobs=jobs
     )
 
 
@@ -116,6 +137,7 @@ def figure_6a_latency_vs_throughput(
     protocols: Sequence[str] = MAIN_PROTOCOLS,
     client_counts: Sequence[int] = (1, 2, 4, 8),
     seed: int = 1,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     """Figure 6a: median/99th latency as a function of offered load (5% writes)."""
     scale = scale or Scale.default()
@@ -124,18 +146,25 @@ def figure_6a_latency_vs_throughput(
         headers=["protocol", "clients/replica", "throughput", "median_us", "p99_us"],
         notes="offered load swept via closed-loop clients per replica",
     )
-    for protocol in protocols:
-        for clients in client_counts:
-            spec = replace(
+    cells = [
+        (
+            (protocol, clients),
+            replace(
                 ExperimentSpec(
                     protocol=protocol,
                     write_ratio=0.05,
-                    seed=seed,
                     label="fig6a",
                 ).with_scale(scale),
                 clients_per_replica=clients,
-            )
-            run = run_experiment(spec)
+            ),
+        )
+        for protocol in protocols
+        for clients in client_counts
+    ]
+    runs = run_cells(cells, root_seed=seed, jobs=jobs)
+    for protocol in protocols:
+        for clients in client_counts:
+            run = runs[(protocol, clients)]
             result.data[(protocol, clients)] = (
                 run.throughput,
                 run.overall_latency.median_us,
@@ -163,6 +192,7 @@ def _latency_sweep(
     protocols: Sequence[str] = ("hermes", "craq"),
     write_ratios: Sequence[float] = PAPER_WRITE_RATIOS,
     seed: int = 1,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     result = FigureResult(
         figure=figure,
@@ -176,16 +206,23 @@ def _latency_sweep(
         ],
         notes="latencies measured at a fixed offered load (paper: rCRAQ peak load)",
     )
-    for protocol in protocols:
-        for ratio in write_ratios:
-            spec = ExperimentSpec(
+    cells = [
+        (
+            (protocol, ratio),
+            ExperimentSpec(
                 protocol=protocol,
                 write_ratio=ratio,
                 zipfian_exponent=zipfian_exponent,
-                seed=seed,
                 label=figure,
-            ).with_scale(scale)
-            run = run_experiment(spec)
+            ).with_scale(scale),
+        )
+        for protocol in protocols
+        for ratio in write_ratios
+    ]
+    runs = run_cells(cells, root_seed=seed, jobs=jobs)
+    for protocol in protocols:
+        for ratio in write_ratios:
+            run = runs[(protocol, ratio)]
             result.data[(protocol, ratio)] = {
                 "read_median_us": run.read_latency.median_us,
                 "read_p99_us": run.read_latency.p99_us,
@@ -206,20 +243,29 @@ def _latency_sweep(
     return result
 
 
-def figure_6b_latency_uniform(scale: Optional[Scale] = None, seed: int = 1) -> FigureResult:
+def figure_6b_latency_uniform(
+    scale: Optional[Scale] = None, seed: int = 1, jobs: Optional[int] = None
+) -> FigureResult:
     """Figure 6b: read/write median and 99th latency vs write ratio (uniform)."""
     return _latency_sweep(
-        "Figure 6b (latency vs write ratio, uniform)", None, scale or Scale.default(), seed=seed
+        "Figure 6b (latency vs write ratio, uniform)",
+        None,
+        scale or Scale.default(),
+        seed=seed,
+        jobs=jobs,
     )
 
 
-def figure_6c_latency_skew(scale: Optional[Scale] = None, seed: int = 1) -> FigureResult:
+def figure_6c_latency_skew(
+    scale: Optional[Scale] = None, seed: int = 1, jobs: Optional[int] = None
+) -> FigureResult:
     """Figure 6c: read/write median and 99th latency vs write ratio (zipfian)."""
     return _latency_sweep(
         "Figure 6c (latency vs write ratio, zipfian 0.99)",
         0.99,
         scale or Scale.default(),
         seed=seed,
+        jobs=jobs,
     )
 
 
@@ -232,6 +278,7 @@ def figure_7_scalability(
     replica_counts: Sequence[int] = (3, 5, 7),
     write_ratios: Sequence[float] = (0.01, 0.20),
     seed: int = 1,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     """Figure 7: throughput for 3/5/7 replicas at 1% and 20% writes (uniform)."""
     scale = scale or Scale.default()
@@ -239,18 +286,26 @@ def figure_7_scalability(
         figure="Figure 7 (scalability with replication degree)",
         headers=["write_ratio", "protocol", *[f"{n} nodes" for n in replica_counts]],
     )
+    cells = [
+        (
+            (protocol, ratio, replicas),
+            ExperimentSpec(
+                protocol=protocol,
+                num_replicas=replicas,
+                write_ratio=ratio,
+                label="fig7",
+            ).with_scale(scale),
+        )
+        for ratio in write_ratios
+        for protocol in protocols
+        for replicas in replica_counts
+    ]
+    runs = run_cells(cells, root_seed=seed, jobs=jobs)
     for ratio in write_ratios:
         for protocol in protocols:
             row: List[object] = [f"{ratio:.0%}", protocol]
             for replicas in replica_counts:
-                spec = ExperimentSpec(
-                    protocol=protocol,
-                    num_replicas=replicas,
-                    write_ratio=ratio,
-                    seed=seed,
-                    label="fig7",
-                ).with_scale(scale)
-                run = run_experiment(spec)
+                run = runs[(protocol, ratio, replicas)]
                 result.data[(protocol, ratio, replicas)] = run.throughput
                 row.append(f"{run.throughput:,.0f}")
             result.rows.append(row)
@@ -264,6 +319,7 @@ def figure_8_derecho(
     scale: Optional[Scale] = None,
     object_sizes: Sequence[int] = (32, 256, 1024),
     seed: int = 1,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     """Figure 8: single-threaded Hermes vs Derecho, write-only workload."""
     scale = scale or Scale.default()
@@ -272,20 +328,24 @@ def figure_8_derecho(
         headers=["object_size", "hermes", "derecho", "ratio"],
         notes="both systems limited to one worker thread per node (paper §6.5)",
     )
-    for size in object_sizes:
-        runs = {}
-        for protocol in ("hermes", "derecho"):
-            spec = ExperimentSpec(
+    cells = [
+        (
+            (protocol, size),
+            ExperimentSpec(
                 protocol=protocol,
                 write_ratio=1.0,
                 value_size=size,
                 worker_threads=1,
-                seed=seed,
                 label="fig8",
-            ).with_scale(scale)
-            runs[protocol] = run_experiment(spec)
-        hermes_tput = runs["hermes"].throughput
-        derecho_tput = runs["derecho"].throughput
+            ).with_scale(scale),
+        )
+        for size in object_sizes
+        for protocol in ("hermes", "derecho")
+    ]
+    all_runs = run_cells(cells, root_seed=seed, jobs=jobs)
+    for size in object_sizes:
+        hermes_tput = all_runs[("hermes", size)].throughput
+        derecho_tput = all_runs[("derecho", size)].throughput
         ratio = hermes_tput / derecho_tput if derecho_tput else float("inf")
         result.data[size] = {"hermes": hermes_tput, "derecho": derecho_tput, "ratio": ratio}
         result.rows.append(
@@ -433,6 +493,7 @@ def ablation_optimizations(
     scale: Optional[Scale] = None,
     write_ratio: float = 0.20,
     seed: int = 1,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     """Ablation: Hermes optimizations O1 (skip VALs), O2 (virtual ids), O3 (ACK broadcast)."""
     scale = scale or Scale.default()
@@ -446,15 +507,21 @@ def ablation_optimizations(
         figure="Ablation: Hermes protocol optimizations",
         headers=["variant", "throughput", "write_p99_us", "messages_sent"],
     )
-    for label, hermes_config in variants.items():
-        spec = ExperimentSpec(
-            protocol="hermes",
-            write_ratio=write_ratio,
-            hermes=hermes_config,
-            seed=seed,
-            label="ablation-opt",
-        ).with_scale(scale)
-        run = run_experiment(spec)
+    cells = [
+        (
+            label,
+            ExperimentSpec(
+                protocol="hermes",
+                write_ratio=write_ratio,
+                hermes=hermes_config,
+                label="ablation-opt",
+            ).with_scale(scale),
+        )
+        for label, hermes_config in variants.items()
+    ]
+    runs = run_cells(cells, root_seed=seed, jobs=jobs)
+    for label in variants:
+        run = runs[label]
         result.data[label] = {
             "throughput": run.throughput,
             "write_p99_us": run.write_latency.p99_us,
@@ -475,6 +542,7 @@ def ablation_wings_batching(
     scale: Optional[Scale] = None,
     write_ratio: float = 0.20,
     seed: int = 1,
+    jobs: Optional[int] = None,
 ) -> FigureResult:
     """Ablation: direct one-packet-per-message transport vs Wings batching."""
     scale = scale or Scale.default()
@@ -482,15 +550,21 @@ def ablation_wings_batching(
         figure="Ablation: Wings opportunistic batching",
         headers=["transport", "throughput", "network_packets"],
     )
-    for label, use_wings in (("direct", False), ("wings batching", True)):
-        spec = ExperimentSpec(
-            protocol="hermes",
-            write_ratio=write_ratio,
-            use_wings=use_wings,
-            seed=seed,
-            label="ablation-wings",
-        ).with_scale(scale)
-        run = run_experiment(spec)
+    cells = [
+        (
+            label,
+            ExperimentSpec(
+                protocol="hermes",
+                write_ratio=write_ratio,
+                use_wings=use_wings,
+                label="ablation-wings",
+            ).with_scale(scale),
+        )
+        for label, use_wings in (("direct", False), ("wings batching", True))
+    ]
+    runs = run_cells(cells, root_seed=seed, jobs=jobs)
+    for label in ("direct", "wings batching"):
+        run = runs[label]
         result.data[label] = {
             "throughput": run.throughput,
             "network_packets": run.cluster_stats["messages_sent"],

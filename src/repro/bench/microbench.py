@@ -1,0 +1,136 @@
+"""Microbenchmarks for the discrete-event simulation engine.
+
+The engine executes every message delivery, CPU-service completion, client
+think-time and protocol timer in the system, so its event dispatch rate is
+the hard ceiling on experiment throughput. This module measures that rate in
+isolation with three synthetic workloads plus one end-to-end experiment:
+
+* ``schedule-run``: pre-schedule a large batch of timed events, then drain.
+* ``chain``: a ``call_soon`` self-rescheduling chain (the closed-loop client
+  pattern: each completion immediately schedules the next issue).
+* ``timers-cancel``: arm a timeout per event and cancel 90% of them before
+  they fire (the retransmission-timer pattern; stresses lazy cancellation).
+* ``experiment``: a small Hermes run via :func:`repro.bench.harness.run_experiment`,
+  reported as simulator events per wall-clock second.
+
+Run with::
+
+    PYTHONPATH=src python -m repro.bench.microbench [--events N] [--repeat K]
+
+The reported number for each workload is the best (max) events/sec across
+repeats, which is the conventional way to suppress scheduler noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable, List, Tuple
+
+from repro.sim.engine import Simulator
+
+
+def _bench_schedule_run(num_events: int) -> Tuple[int, float]:
+    sim = Simulator()
+    # Interleave two delay patterns so heap pushes are not already sorted.
+    start = time.perf_counter()
+    schedule = sim.schedule
+    noop = lambda: None  # noqa: E731 - tight-loop callback
+    for i in range(num_events):
+        schedule((i % 97) * 1e-6 + 1e-9, noop)
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return num_events, elapsed
+
+
+def _bench_chain(num_events: int) -> Tuple[int, float]:
+    sim = Simulator()
+    remaining = [num_events]
+
+    def step() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.call_soon(step)
+
+    sim.call_soon(step)
+    start = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return num_events, elapsed
+
+
+def _bench_timers_cancel(num_events: int) -> Tuple[int, float]:
+    sim = Simulator()
+    start = time.perf_counter()
+    fired = [0]
+
+    def fire() -> None:
+        fired[0] += 1
+
+    handles = []
+    for i in range(num_events):
+        handles.append(sim.schedule(1e-3 + (i % 13) * 1e-6, fire))
+        # Cancel 90% of outstanding timers, as retransmission timeouts whose
+        # message arrived in time would be.
+        if i % 10 != 0:
+            handles[-1].cancel()
+    sim.run()
+    elapsed = time.perf_counter() - start
+    # Executed + cancelled events all pass through the scheduling machinery.
+    return num_events, elapsed
+
+
+def _bench_experiment() -> Tuple[int, float]:
+    from repro.bench.harness import ExperimentSpec, run_experiment
+
+    spec = ExperimentSpec(
+        protocol="hermes",
+        num_replicas=5,
+        write_ratio=0.2,
+        num_keys=500,
+        clients_per_replica=4,
+        ops_per_client=150,
+        seed=7,
+    )
+    start = time.perf_counter()
+    result = run_experiment(spec)
+    elapsed = time.perf_counter() - start
+    return len(result.results), elapsed
+
+
+BENCHES: List[Tuple[str, Callable[[int], Tuple[int, float]]]] = [
+    ("schedule-run", _bench_schedule_run),
+    ("chain", _bench_chain),
+    ("timers-cancel", _bench_timers_cancel),
+]
+
+
+def main(argv: List[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=200_000, help="events per workload")
+    parser.add_argument("--repeat", type=int, default=3, help="repeats (best is reported)")
+    parser.add_argument(
+        "--skip-experiment", action="store_true", help="skip the end-to-end experiment bench"
+    )
+    args = parser.parse_args(argv)
+
+    print(f"{'workload':<16} {'events':>10} {'best s':>9} {'events/sec':>14}")
+    for name, bench in BENCHES:
+        best = float("inf")
+        count = 0
+        for _ in range(args.repeat):
+            count, elapsed = bench(args.events)
+            best = min(best, elapsed)
+        print(f"{name:<16} {count:>10,} {best:>9.4f} {count / best:>14,.0f}")
+
+    if not args.skip_experiment:
+        best = float("inf")
+        ops = 0
+        for _ in range(args.repeat):
+            ops, elapsed = _bench_experiment()
+            best = min(best, elapsed)
+        print(f"{'experiment':<16} {ops:>10,} {best:>9.4f} {ops / best:>14,.0f}  (ops/sec)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,372 @@
+"""Parallel experiment runner and ``BENCH_*.json`` artifact pipeline.
+
+Every paper figure is a grid of independent experiments (protocol x write
+ratio x skew x replication degree). The cells share nothing — each builds
+its own cluster, workload and RNG streams from an
+:class:`~repro.bench.harness.ExperimentSpec` — so they are embarrassingly
+parallel. This module fans a grid out across ``ProcessPoolExecutor``
+workers and merges the per-cell :class:`~repro.bench.harness.ExperimentResult`
+records back in submission order, which makes the output **bit-for-bit
+identical for any worker count** (including fully serial execution).
+
+Determinism is anchored by per-cell seeds: :func:`derive_cell_seed` hashes
+the cell's spec (everything except its ``seed`` field) together with the
+figure's root seed, so every cell gets a stable, collision-resistant seed
+that does not depend on grid order, worker scheduling or Python hash
+randomization.
+
+Command-line interface::
+
+    PYTHONPATH=src python -m repro.bench.runner --figure 5 --scale smoke --jobs 8
+
+runs Figures 5a and 5b at smoke scale on 8 worker processes, prints the
+text tables via :mod:`repro.analysis.report`, and writes ``BENCH_fig5.json``
+into the output directory. ``--figure all`` reproduces the whole evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import hashlib
+import json
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.bench.harness import ExperimentResult, ExperimentSpec, Scale, run_experiment
+from repro.errors import BenchmarkError
+
+#: Named run-size presets accepted by ``--scale`` and ``REPRO_BENCH_SCALE``.
+SCALE_PRESETS: Dict[str, Callable[[], Scale]] = {
+    "smoke": Scale.smoke,
+    "default": Scale.default,
+    "thorough": Scale.thorough,
+    # A compact preset tuned so the full figure suite stays fast while still
+    # saturating the protocol bottlenecks the figures are about.
+    "bench": lambda: Scale("bench", num_keys=2_000, clients_per_replica=12, ops_per_client=120),
+}
+
+
+def resolve_scale(name: str) -> Scale:
+    """Look up a named scale preset (case-insensitive).
+
+    Raises:
+        BenchmarkError: if the name is unknown.
+    """
+    factory = SCALE_PRESETS.get(name.lower())
+    if factory is None:
+        raise BenchmarkError(
+            f"unknown scale {name!r}; options: {sorted(SCALE_PRESETS)}"
+        )
+    return factory()
+
+
+def default_jobs() -> int:
+    """Worker count used when ``jobs`` is unspecified: all cores."""
+    return max(1, os.cpu_count() or 1)
+
+
+# ---------------------------------------------------------------- seeding
+def derive_cell_seed(spec: ExperimentSpec, root_seed: int) -> int:
+    """A deterministic per-cell seed from ``(spec, root_seed)``.
+
+    The spec's own ``seed`` field is excluded so the derivation is a pure
+    function of the cell's identity (protocol, workload, sizes, configs) and
+    the figure's root seed. SHA-256 keeps the result stable across processes
+    and Python hash randomization.
+    """
+    identity = sorted(
+        (name, repr(value))
+        for name, value in vars(spec).items()
+        if name != "seed"
+    )
+    payload = repr((identity, root_seed)).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:4], "big") % (2**31 - 1) + 1
+
+
+# ------------------------------------------------------------ grid running
+def _execute_spec(task: Tuple[ExperimentSpec, bool]) -> ExperimentResult:
+    """Worker entry point: run one cell, optionally stripping bulky fields.
+
+    Raw per-operation results (and any recorded history) are dropped before
+    the result crosses the process boundary unless the caller asked for
+    them; the reduced summaries are computed inside the worker either way,
+    so stripping never changes the numbers.
+    """
+    spec, keep_results = task
+    result = run_experiment(spec)
+    if not keep_results:
+        result.results = []
+        result.history = None
+    return result
+
+
+def run_specs(
+    specs: Sequence[ExperimentSpec],
+    jobs: Optional[int] = None,
+    keep_results: bool = False,
+) -> List[ExperimentResult]:
+    """Run experiments, in parallel when ``jobs`` allows, preserving order.
+
+    Args:
+        specs: The experiment grid, one spec per cell.
+        jobs: Worker processes. ``None`` uses every core; ``0``/``1`` runs
+            serially in-process (no executor, no pickling).
+        keep_results: Keep raw per-operation results on each returned
+            :class:`ExperimentResult` (costs IPC bandwidth when parallel).
+
+    Returns:
+        One :class:`ExperimentResult` per spec, in input order regardless of
+        worker scheduling — serial and parallel runs produce identical
+        output for identical specs.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    tasks = [(spec, keep_results) for spec in specs]
+    if jobs <= 1 or len(specs) <= 1:
+        return [_execute_spec(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        return list(pool.map(_execute_spec, tasks))
+
+
+def run_cells(
+    cells: Sequence[Tuple[Hashable, ExperimentSpec]],
+    root_seed: int,
+    jobs: Optional[int] = None,
+    keep_results: bool = False,
+) -> Dict[Hashable, ExperimentResult]:
+    """Run a keyed experiment grid with derived per-cell seeds.
+
+    Args:
+        cells: ``(key, spec)`` pairs; keys must be unique.
+        root_seed: Figure-level seed mixed into every cell's derived seed.
+        jobs: Worker processes (see :func:`run_specs`).
+        keep_results: Keep raw per-operation results.
+
+    Returns:
+        Mapping from each cell key to its result.
+    """
+    keys = [key for key, _ in cells]
+    if len(set(keys)) != len(keys):
+        raise BenchmarkError("grid cell keys must be unique")
+    seeded = [
+        replace(spec, seed=derive_cell_seed(spec, root_seed)) for _, spec in cells
+    ]
+    results = run_specs(seeded, jobs=jobs, keep_results=keep_results)
+    return dict(zip(keys, results))
+
+
+# ---------------------------------------------------------- JSON artifacts
+def _jsonable(value: Any) -> Any:
+    """Convert figure payloads (dataclasses, tuples, nested dicts) to JSON."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {_json_key(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _json_key(key: Any) -> str:
+    """Flatten grid keys (often tuples) into stable strings."""
+    if isinstance(key, tuple):
+        return ",".join(str(part) for part in key)
+    return str(key)
+
+
+def figure_to_dict(result: "FigureResult") -> Dict[str, Any]:  # noqa: F821
+    """Serialize a :class:`~repro.bench.experiments.FigureResult` to JSON."""
+    return {
+        "figure": result.figure,
+        "headers": list(result.headers),
+        "rows": _jsonable(result.rows),
+        "data": _jsonable(result.data),
+        "notes": result.notes,
+    }
+
+
+def write_artifact(path: str, payload: Dict[str, Any]) -> None:
+    """Write a ``BENCH_*.json`` artifact with deterministic formatting."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ------------------------------------------------------------- figure CLI
+def _figure_functions() -> Dict[str, List[Callable[..., Any]]]:
+    """Figure key -> list of figure functions (imported lazily: the
+    experiments module itself imports this runner)."""
+    from repro.bench import experiments as exp
+
+    def gridded(func: Callable[..., Any]) -> Callable[..., Any]:
+        def call(scale: Scale, seed: int, jobs: Optional[int]) -> Any:
+            return func(scale=scale, seed=seed, jobs=jobs)
+
+        call.__name__ = func.__name__
+        call.uses_scale = True
+        return call
+
+    def fixed(func: Callable[..., Any], **forwarded: Any) -> Callable[..., Any]:
+        """For figures with a bespoke, scale-independent setup (9, Table 2):
+        ``scale``/``jobs`` do not apply; ``forwarded`` names the arguments
+        that do (e.g. ``seed``)."""
+
+        def call(scale: Scale, seed: int, jobs: Optional[int]) -> Any:
+            kwargs = {"seed": seed} if "seed" in forwarded else {}
+            return func(**kwargs)
+
+        call.__name__ = func.__name__
+        call.uses_scale = False
+        return call
+
+    return {
+        "5": [gridded(exp.figure_5a_throughput_uniform), gridded(exp.figure_5b_throughput_skew)],
+        "6": [
+            gridded(exp.figure_6a_latency_vs_throughput),
+            gridded(exp.figure_6b_latency_uniform),
+            gridded(exp.figure_6c_latency_skew),
+        ],
+        "7": [gridded(exp.figure_7_scalability)],
+        "8": [gridded(exp.figure_8_derecho)],
+        "9": [fixed(exp.figure_9_failure, seed=True)],
+        "table2": [fixed(exp.table_2_features)],
+        "ablations": [gridded(exp.ablation_optimizations), gridded(exp.ablation_wings_batching)],
+    }
+
+
+def artifact_name(figure: str) -> str:
+    """The ``BENCH_*.json`` file name for a figure key."""
+    if figure[0].isdigit():
+        return f"BENCH_fig{figure}.json"
+    return f"BENCH_{figure}.json"
+
+
+def run_figure(
+    figure: str,
+    scale: Scale,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+    output_dir: Optional[str] = None,
+    print_tables: bool = True,
+) -> Dict[str, Any]:
+    """Run one figure end to end: experiments, tables, JSON artifact.
+
+    Args:
+        figure: Figure key (``"5"``, ``"6"``, ..., ``"table2"``,
+            ``"ablations"``).
+        scale: Run-size preset for the underlying experiments.
+        seed: Root seed for per-cell derivation.
+        jobs: Worker processes for the grid.
+        output_dir: Where to write the artifact; ``None`` skips writing.
+        print_tables: Print each figure's text table to stdout.
+
+    Returns:
+        The artifact payload (also written to disk when requested).
+    """
+    functions = _figure_functions().get(figure)
+    if functions is None:
+        raise BenchmarkError(
+            f"unknown figure {figure!r}; options: {sorted(_figure_functions())}"
+        )
+    # Record the scale only when it was actually applied: Figure 9 and
+    # Table 2 have bespoke, scale-independent setups, and stamping an
+    # unapplied scale into their artifacts would defeat artifact diffing.
+    uses_scale = any(getattr(func, "uses_scale", True) for func in functions)
+    payload: Dict[str, Any] = {
+        "figure": figure,
+        "scale": scale.name if uses_scale else None,
+        "seed": seed,
+        "results": [],
+    }
+    for func in functions:
+        result = func(scale, seed, jobs)
+        if print_tables:
+            print(result.table())
+            if result.notes:
+                print(f"  note: {result.notes}")
+            print()
+        payload["results"].append(figure_to_dict(result))
+    if output_dir is not None:
+        path = os.path.join(output_dir, artifact_name(figure))
+        write_artifact(path, payload)
+        if print_tables:
+            print(f"wrote {path}")
+    return payload
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (``python -m repro.bench.runner``)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.runner",
+        description="Reproduce paper figures on parallel workers and emit BENCH_*.json artifacts.",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        dest="figures",
+        metavar="FIG",
+        help="figure to run: 5, 6, 7, 8, 9, table2, ablations, or all "
+        "(repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        default=os.environ.get("REPRO_BENCH_SCALE", "bench"),
+        help="run-size preset: smoke, bench, default, thorough "
+        "(default: $REPRO_BENCH_SCALE or 'bench')",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="root seed (default: 1)")
+    jobs_env = os.environ.get("REPRO_BENCH_JOBS")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=int(jobs_env) if jobs_env else None,
+        help="worker processes (default: $REPRO_BENCH_JOBS or all cores; 1 = serial)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=".",
+        help="directory for BENCH_*.json artifacts (default: current directory)",
+    )
+    parser.add_argument(
+        "--no-artifacts", action="store_true", help="skip writing BENCH_*.json files"
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress text tables")
+    args = parser.parse_args(argv)
+
+    known = sorted(_figure_functions())
+    figures = args.figures or ["all"]
+    if "all" in figures:
+        figures = known
+    unknown = [f for f in figures if f not in known]
+    if unknown:
+        parser.error(f"unknown figure(s) {unknown}; options: {known + ['all']}")
+
+    try:
+        scale = resolve_scale(args.scale)
+    except BenchmarkError as exc:
+        parser.error(str(exc))
+
+    output_dir = None if args.no_artifacts else args.output_dir
+    if output_dir is not None:
+        os.makedirs(output_dir, exist_ok=True)
+    for figure in figures:
+        run_figure(
+            figure,
+            scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            output_dir=output_dir,
+            print_tables=not args.quiet,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

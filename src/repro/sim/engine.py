@@ -8,46 +8,92 @@ schedule of calls.
 Times are expressed in **seconds** of simulated time throughout the library;
 microsecond-scale datacenter latencies therefore appear as values around
 ``2e-6``.
+
+Hot-path design: heap entries are small lists ``[time, seq, callback, args,
+cancelled]`` so that ``heapq`` orders them with C-level list comparison
+(``time`` then the unique ``seq``; the comparison never reaches the callback
+slot) instead of dispatching to a Python ``__lt__``. :class:`EventHandle`
+*is* the heap entry — a ``list`` subclass — so scheduling allocates a single
+object. Cancellation stays O(1) and lazy, but the engine counts outstanding
+cancelled entries and compacts the heap once they dominate it, keeping pop
+cost bounded for timer-heavy protocols.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationDeadlock, SimulationError
 
+#: Heap-entry slot indices (see module docstring).
+_TIME, _SEQ, _CALLBACK, _ARGS, _CANCELLED = range(5)
 
-class EventHandle:
+#: Compaction starts only once this many cancelled entries are outstanding,
+#: so small simulations never pay for a heap rebuild.
+_COMPACT_MIN_CANCELLED = 512
+
+
+class EventHandle(list):
     """Handle to a scheduled event, usable to cancel it.
 
-    Cancellation is lazy: the event stays in the heap but is skipped when it
-    is popped. This keeps ``cancel`` O(1), which matters because protocols
-    cancel many timers (e.g. message-loss timeouts that did not fire).
+    The handle doubles as the heap entry ``[time, seq, callback, args,
+    cancelled]``. Cancellation is lazy: the entry stays in the heap but is
+    skipped when popped. This keeps ``cancel`` O(1), which matters because
+    protocols cancel many timers (e.g. message-loss timeouts that did not
+    fire); the owning :class:`Simulator` compacts the heap when cancelled
+    entries pile up.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("_sim",)
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: Tuple[Any, ...]):
-        self.time = time
-        self.seq = seq
-        self.callback: Optional[Callable[..., None]] = callback
-        self.args = args
-        self.cancelled = False
+    # Handles were hashable-by-identity before they became list entries;
+    # keep that contract so callers can store them in sets/dicts.
+    __hash__ = object.__hash__
+
+    @property
+    def time(self) -> float:
+        """Absolute simulated time at which the event fires."""
+        return self[_TIME]
+
+    @property
+    def seq(self) -> int:
+        """Insertion sequence number (ties break in insertion order)."""
+        return self[_SEQ]
+
+    @property
+    def callback(self) -> Optional[Callable[..., None]]:
+        """The scheduled callback (``None`` once fired or cancelled)."""
+        return self[_CALLBACK]
+
+    @property
+    def args(self) -> tuple:
+        """Arguments the callback will be invoked with."""
+        return self[_ARGS]
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called on this event."""
+        return self[_CANCELLED]
 
     def cancel(self) -> None:
         """Cancel the event; it will not be executed."""
-        self.cancelled = True
-        self.callback = None
-        self.args = ()
-
-    def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        if self[_CANCELLED]:
+            return
+        self[_CANCELLED] = True
+        if self[_CALLBACK] is not None:
+            # Still pending in the heap: drop the references and let the
+            # simulator know one more entry is dead weight.
+            self[_CALLBACK] = None
+            self[_ARGS] = ()
+            sim = self._sim
+            if sim is not None:
+                sim._cancelled_pending += 1
+        self._sim = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
-        return f"EventHandle(t={self.time:.9f}, seq={self.seq}, {state})"
+        state = "cancelled" if self[_CANCELLED] else "pending"
+        return f"EventHandle(t={self[_TIME]:.9f}, seq={self[_SEQ]}, {state})"
 
 
 class Simulator:
@@ -66,8 +112,9 @@ class Simulator:
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: List[EventHandle] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._events_executed = 0
+        self._cancelled_pending = 0
         self._running = False
         self._stopped = False
 
@@ -104,7 +151,7 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule event in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        return self._push(self._now + delay, callback, args)
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at an absolute simulated time."""
@@ -112,13 +159,30 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={time} before current time t={self._now}"
             )
-        handle = EventHandle(time, next(self._seq), callback, args)
-        heapq.heappush(self._heap, handle)
-        return handle
+        return self._push(time, callback, args)
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at the current simulated time."""
-        return self.schedule_at(self._now, callback, *args)
+        return self._push(self._now, callback, args)
+
+    def _push(self, time: float, callback: Callable[..., None], args: tuple) -> EventHandle:
+        seq = self._seq
+        self._seq = seq + 1
+        handle = EventHandle((time, seq, callback, args, False))
+        handle._sim = self
+        heapq.heappush(self._heap, handle)
+        if (
+            self._cancelled_pending > _COMPACT_MIN_CANCELLED
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+        return handle
+
+    def _compact(self) -> None:
+        """Drop lazily-cancelled entries and re-heapify (amortized O(1))."""
+        self._heap = [entry for entry in self._heap if entry[_CALLBACK] is not None]
+        heapq.heapify(self._heap)
+        self._cancelled_pending = 0
 
     # --------------------------------------------------------------- running
     def stop(self) -> None:
@@ -144,28 +208,35 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed_this_run = 0
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
+            while heap:
                 if self._stopped:
                     break
                 if max_events is not None and executed_this_run >= max_events:
                     break
-                handle = self._heap[0]
-                if handle.cancelled:
-                    heapq.heappop(self._heap)
+                entry = heap[0]
+                callback = entry[_CALLBACK]
+                if callback is None:
+                    # Lazily-cancelled entry: discard and keep going.
+                    heappop(heap)
+                    self._cancelled_pending -= 1
                     continue
-                if until is not None and handle.time > until:
+                event_time = entry[_TIME]
+                if until is not None and event_time > until:
                     self._now = until
                     break
-                heapq.heappop(self._heap)
-                self._now = handle.time
-                callback, args = handle.callback, handle.args
-                handle.callback = None
-                handle.args = ()
-                assert callback is not None
+                heappop(heap)
+                self._now = event_time
+                args = entry[_ARGS]
+                entry[_CALLBACK] = None
+                entry[_ARGS] = ()
                 callback(*args)
                 self._events_executed += 1
                 executed_this_run += 1
+                # A compaction inside a callback replaces the heap list.
+                heap = self._heap
             else:
                 # Queue drained.
                 if until is not None and until > self._now:

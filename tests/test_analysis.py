@@ -62,6 +62,21 @@ def test_percentiles_are_monotone(values):
     assert percentile(values, 0.25) <= percentile(values, 0.75) <= percentile(values, 0.99)
 
 
+def test_percentile_monotone_for_equal_float_neighbors():
+    """Regression: with nine values of {0.0, 999.9999999999999} the old
+    ``low*(1-w) + high*w`` interpolation rounded p95 one ulp above p99."""
+    values = [0.0] + [999.9999999999999] * 8
+    p95 = percentile(values, 0.95)
+    p99 = percentile(values, 0.99)
+    assert p95 <= p99
+    assert p95 == 999.9999999999999 == p99
+
+
+def test_percentile_exact_on_equal_neighbors():
+    # Both closest ranks hold the same value: no interpolation error allowed.
+    assert percentile([1.1, 2.2, 2.2, 3.3], 0.5) == 2.2
+
+
 # ------------------------------------------------------------------ summary
 def test_latency_summary_counts_and_percentiles():
     results = make_results([1e-6] * 90 + [100e-6] * 10)
@@ -123,6 +138,19 @@ def test_throughput_timeseries_windows():
 def test_throughput_timeseries_requires_positive_window():
     with pytest.raises(BenchmarkError):
         throughput_timeseries(make_results([1e-3]), window=0.0)
+
+
+def test_throughput_timeseries_conserves_ops_beyond_horizon():
+    """Regression: completions past the caller's ``end_time`` horizon were
+    silently dropped; they must be clamped into the final window so the
+    series conserves the operation count (Figure 9 timelines)."""
+    results = make_results([1e-3] * 100)  # completions span (0, 0.1]
+    series = throughput_timeseries(results, window=0.01, end_time=0.05)
+    counted = sum(ops * 0.01 for _, ops in series)
+    assert counted == pytest.approx(100)
+    # The overflow piles into the final window, not beyond the horizon.
+    assert series[-1][0] == pytest.approx(0.05)
+    assert series[-1][1] > series[0][1]
 
 
 def test_completed_ok_and_abort_rate():

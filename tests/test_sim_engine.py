@@ -174,3 +174,46 @@ def test_pending_events_count(sim):
     assert sim.pending_events == 2
     sim.run()
     assert sim.pending_events == 0
+
+
+def test_cancel_after_fire_is_harmless(sim):
+    fired = []
+    handle = sim.schedule(0.1, fired.append, "x")
+    sim.run()
+    handle.cancel()
+    assert fired == ["x"]
+    assert handle.cancelled
+
+
+def test_mass_cancellation_triggers_heap_compaction(sim):
+    """Lazily-cancelled entries must not accumulate without bound: once they
+    dominate the heap, scheduling compacts them away."""
+    handles = [sim.schedule(1.0 + i * 1e-6, lambda: None) for i in range(4000)]
+    for handle in handles[:-1]:
+        handle.cancel()
+    # Pushing a few more events crosses the compaction threshold.
+    keep = []
+    for i in range(4):
+        keep.append(sim.schedule(2.0 + i, keep.append))
+    assert sim.pending_events < 1000
+    fired = []
+    sim.schedule(0.5, fired.append, "live")
+    sim.run(until=1.5)
+    assert fired == ["live"]
+
+
+def test_determinism_with_heavy_cancellation(sim):
+    """Cancelling 90% of timers does not perturb the surviving order."""
+    order = []
+    handles = []
+    for i in range(1000):
+        handles.append(sim.schedule(1e-3 + (i % 17) * 1e-6, order.append, i))
+    for i, handle in enumerate(handles):
+        if i % 10 != 0:
+            handle.cancel()
+    sim.run()
+    expected = sorted(
+        (i for i in range(1000) if i % 10 == 0),
+        key=lambda i: ((i % 17) * 1e-6, i),
+    )
+    assert order == expected
