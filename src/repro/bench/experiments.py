@@ -44,6 +44,19 @@ PAPER_WRITE_RATIOS: Tuple[float, ...] = (0.01, 0.05, 0.20, 0.50, 0.75, 1.00)
 #: The three protocols compared in the main throughput/latency figures.
 MAIN_PROTOCOLS: Tuple[str, ...] = ("hermes", "craq", "zab")
 
+#: Offered loads (operations per simulated second) swept by the open-loop
+#: counterpart of Figures 5/6. At 20% writes the top points exceed the
+#: slower protocols' capacity, so the latency hockey stick is visible.
+OPEN_LOOP_LOADS: Tuple[float, ...] = (1.0e6, 2.0e6, 4.0e6, 8.0e6)
+
+#: Workload presets swept by the RMW-mix figure (see repro.workloads.presets).
+RMW_MIX_PRESETS: Tuple[str, ...] = (
+    "read-heavy",
+    "update-heavy",
+    "rmw-heavy",
+    "skewed-rmw-heavy",
+)
+
 
 @dataclass
 class FigureResult:
@@ -267,6 +280,148 @@ def figure_6c_latency_skew(
         seed=seed,
         jobs=jobs,
     )
+
+
+# ---------------------------------------------------------------------------
+# Open-loop (Poisson) offered-load sweep — the open-loop counterpart of
+# Figures 5/6: external load is fixed, not completion-driven, so queueing
+# delay appears as soon as a protocol saturates.
+# ---------------------------------------------------------------------------
+def figure_open_loop(
+    scale: Optional[Scale] = None,
+    protocols: Sequence[str] = MAIN_PROTOCOLS,
+    offered_loads: Sequence[float] = OPEN_LOOP_LOADS,
+    write_ratio: float = 0.20,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+) -> FigureResult:
+    """Delivered throughput and latency versus Poisson offered load.
+
+    Every session issues requests at a fixed aggregate rate regardless of
+    completions (:class:`~repro.cluster.client.OpenLoopClient`). Below
+    saturation the delivered throughput tracks the offered load and latency
+    stays flat; past a protocol's capacity the delivered curve plateaus and
+    latency grows with the backlog — the classic open-loop hockey stick
+    that closed-loop sweeps (Figure 6a) understate.
+    """
+    scale = scale or Scale.default()
+    result = FigureResult(
+        figure="Open-loop sweep (Poisson arrivals, 20% writes, uniform)",
+        headers=[
+            "protocol",
+            "offered_ops_s",
+            "delivered_ops_s",
+            "median_us",
+            "p99_us",
+        ],
+        notes="offered load split evenly across all sessions; Poisson arrivals",
+    )
+    cells = [
+        (
+            (protocol, load),
+            replace(
+                ExperimentSpec(
+                    protocol=protocol,
+                    write_ratio=write_ratio,
+                    label="openloop",
+                ).with_scale(scale),
+                client_model="open",
+                offered_load=load,
+            ),
+        )
+        for protocol in protocols
+        for load in offered_loads
+    ]
+    runs = run_cells(cells, root_seed=seed, jobs=jobs)
+    for protocol in protocols:
+        for load in offered_loads:
+            run = runs[(protocol, load)]
+            result.data[(protocol, load)] = {
+                "offered": load,
+                "delivered": run.throughput,
+                "median_us": run.overall_latency.median_us,
+                "p99_us": run.overall_latency.p99_us,
+            }
+            result.rows.append(
+                [
+                    protocol,
+                    f"{load:,.0f}",
+                    f"{run.throughput:,.0f}",
+                    f"{run.overall_latency.median_us:.1f}",
+                    f"{run.overall_latency.p99_us:.1f}",
+                ]
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# RMW-heavy workload mixes (paper §3.6: RMWs are conflicting and may abort)
+# ---------------------------------------------------------------------------
+def figure_rmw_mix(
+    scale: Optional[Scale] = None,
+    presets: Sequence[str] = RMW_MIX_PRESETS,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+) -> FigureResult:
+    """Hermes across named workload presets, including 50%-RMW mixes.
+
+    The ``rmw-heavy`` presets exercise the conflicting-update path (CRMW
+    rules): aborts appear under key contention, which the skewed variant
+    amplifies. A control row runs the rmw-heavy mix with RMW support
+    disabled (every RMW degrades to a plain write) to expose the protocol
+    cost of RMW semantics at identical load.
+    """
+    from repro.workloads.presets import preset_spec_kwargs
+
+    scale = scale or Scale.default()
+    result = FigureResult(
+        figure="RMW-heavy workload mixes (Hermes)",
+        headers=["preset", "throughput", "write_median_us", "write_p99_us", "rmws_aborted"],
+        notes="rmw-heavy = 50% reads / 50% RMWs; control row degrades RMWs to writes",
+    )
+    cells = [
+        (
+            preset,
+            replace(
+                ExperimentSpec(protocol="hermes", label="rmw-mix").with_scale(scale),
+                **preset_spec_kwargs(preset),
+            ),
+        )
+        for preset in presets
+    ]
+    control = "rmw-heavy (as writes)"
+    cells.append(
+        (
+            control,
+            replace(
+                ExperimentSpec(
+                    protocol="hermes",
+                    hermes=HermesConfig(enable_rmw=False),
+                    label="rmw-mix-control",
+                ).with_scale(scale),
+                **preset_spec_kwargs("rmw-heavy"),
+            ),
+        )
+    )
+    runs = run_cells(cells, root_seed=seed, jobs=jobs)
+    for label in [*presets, control]:
+        run = runs[label]
+        result.data[label] = {
+            "throughput": run.throughput,
+            "write_median_us": run.write_latency.median_us,
+            "write_p99_us": run.write_latency.p99_us,
+            "rmws_aborted": run.cluster_stats["rmws_aborted"],
+        }
+        result.rows.append(
+            [
+                label,
+                f"{run.throughput:,.0f}",
+                f"{run.write_latency.median_us:.1f}",
+                f"{run.write_latency.p99_us:.1f}",
+                run.cluster_stats["rmws_aborted"],
+            ]
+        )
+    return result
 
 
 # ---------------------------------------------------------------------------

@@ -20,8 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
+import random
+
 from repro.analysis.stats import LatencySummary, latency_summary, throughput
-from repro.cluster.client import ClosedLoopClient, run_clients
+from repro.cluster.client import ClientSession, ClosedLoopClient, OpenLoopClient, run_clients
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.core.config import HermesConfig
 from repro.errors import BenchmarkError
@@ -78,8 +80,13 @@ class ExperimentSpec:
         zipfian_exponent: ``None`` for uniform keys, otherwise the exponent.
         num_keys: Key-space size.
         value_size: Written value size in bytes.
-        clients_per_replica: Closed-loop sessions per replica.
+        clients_per_replica: Client sessions per replica.
         ops_per_client: Operations per session.
+        client_model: ``"closed"`` (one outstanding request per session) or
+            ``"open"`` (Poisson arrivals at a fixed offered load).
+        offered_load: Aggregate offered load in operations per simulated
+            second, split evenly across all open-loop sessions. Required
+            when ``client_model == "open"``; ignored for closed loops.
         seed: Root seed.
         use_wings: Whether replicas use the Wings batching transport.
         worker_threads: Per-node worker threads (Figure 8 pins this to 1).
@@ -99,6 +106,8 @@ class ExperimentSpec:
     value_size: int = 32
     clients_per_replica: int = 3
     ops_per_client: int = 220
+    client_model: str = "closed"
+    offered_load: Optional[float] = None
     seed: int = 1
     use_wings: bool = False
     worker_threads: int = 20
@@ -183,6 +192,54 @@ def build_workload(spec: ExperimentSpec) -> WorkloadMix:
     )
 
 
+def build_clients(
+    spec: ExperimentSpec, cluster: Cluster, workload: WorkloadMix, history: Optional[History]
+) -> List[ClientSession]:
+    """Construct the client sessions described by an experiment spec."""
+    if spec.client_model not in ("closed", "open"):
+        raise BenchmarkError(
+            f"unknown client_model {spec.client_model!r}; options: 'closed', 'open'"
+        )
+    open_loop = spec.client_model == "open"
+    if open_loop:
+        if not spec.offered_load or spec.offered_load <= 0:
+            raise BenchmarkError("open-loop experiments require a positive offered_load")
+        total_sessions = spec.num_replicas * spec.clients_per_replica
+        rate_per_client = spec.offered_load / total_sessions
+    clients: List[ClientSession] = []
+    client_id = 0
+    for node_id in cluster.node_ids:
+        for _ in range(spec.clients_per_replica):
+            if open_loop:
+                clients.append(
+                    OpenLoopClient(
+                        client_id=client_id,
+                        cluster=cluster,
+                        workload=workload,
+                        rate=rate_per_client,
+                        max_ops=spec.ops_per_client,
+                        replica_id=node_id,
+                        history=history,
+                        rng=random.Random(
+                            (spec.seed * 1_000_003 + 7_919 * (client_id + 1)) & 0x7FFFFFFF
+                        ),
+                    )
+                )
+            else:
+                clients.append(
+                    ClosedLoopClient(
+                        client_id=client_id,
+                        cluster=cluster,
+                        workload=workload,
+                        max_ops=spec.ops_per_client,
+                        replica_id=node_id,
+                        history=history,
+                    )
+                )
+            client_id += 1
+    return clients
+
+
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     """Run one experiment end to end and reduce its results."""
     if spec.ops_per_client < 1 or spec.clients_per_replica < 1:
@@ -192,21 +249,7 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     cluster.preload(workload.initial_dataset())
 
     history = History() if spec.record_history else None
-    clients: List[ClosedLoopClient] = []
-    client_id = 0
-    for node_id in cluster.node_ids:
-        for _ in range(spec.clients_per_replica):
-            clients.append(
-                ClosedLoopClient(
-                    client_id=client_id,
-                    cluster=cluster,
-                    workload=workload,
-                    max_ops=spec.ops_per_client,
-                    replica_id=node_id,
-                    history=history,
-                )
-            )
-            client_id += 1
+    clients = build_clients(spec, cluster, workload, history)
 
     duration = run_clients(cluster, clients, max_time=spec.max_sim_time)
 

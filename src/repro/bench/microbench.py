@@ -24,8 +24,10 @@ repeats, which is the conventional way to suppress scheduler noise.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import time
-from typing import Callable, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.sim.engine import Simulator
 
@@ -105,6 +107,46 @@ BENCHES: List[Tuple[str, Callable[[int], Tuple[int, float]]]] = [
 ]
 
 
+def check_floor(
+    rates: Dict[str, float], floor_path: str, warn_pct: float
+) -> List[str]:
+    """Compare measured rates against a recorded floor file (soft gate).
+
+    The floor file maps workload names to reference events(or ops)/sec. A
+    warning is produced for every workload measuring more than ``warn_pct``
+    percent below its floor. Never raises on drift — this is an advisory
+    gate (CI machines vary widely); missing floor entries are ignored.
+    """
+    with open(floor_path, "r", encoding="utf-8") as handle:
+        floor = json.load(handle)
+    warnings: List[str] = []
+    for name, rate in rates.items():
+        reference = floor.get(name)
+        if not isinstance(reference, (int, float)) or reference <= 0:
+            continue
+        threshold = reference * (1.0 - warn_pct / 100.0)
+        if rate < threshold:
+            warnings.append(
+                f"{name}: {rate:,.0f}/sec is {100 * (1 - rate / reference):.0f}% below "
+                f"the recorded floor {reference:,.0f}/sec (warn threshold {warn_pct:.0f}%)"
+            )
+    return warnings
+
+
+def _emit_warnings(warnings: List[str], floor_path: str) -> None:
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    lines = [f"### Microbench soft perf gate ({floor_path})"]
+    if warnings:
+        lines += [f"- :warning: {w}" for w in warnings]
+    else:
+        lines.append("- all workloads within tolerance of the recorded floor")
+    for line in lines[1:]:
+        print(line.replace(":warning:", "WARNING"))
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+
 def main(argv: List[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--events", type=int, default=200_000, help="events per workload")
@@ -112,8 +154,20 @@ def main(argv: List[str] | None = None) -> None:
     parser.add_argument(
         "--skip-experiment", action="store_true", help="skip the end-to-end experiment bench"
     )
+    parser.add_argument(
+        "--floor-file",
+        help="JSON file of recorded reference rates; measured rates more than "
+        "--warn-pct below a reference produce warnings (never a failure)",
+    )
+    parser.add_argument(
+        "--warn-pct",
+        type=float,
+        default=30.0,
+        help="soft-gate threshold in percent below the recorded floor (default 30)",
+    )
     args = parser.parse_args(argv)
 
+    rates: Dict[str, float] = {}
     print(f"{'workload':<16} {'events':>10} {'best s':>9} {'events/sec':>14}")
     for name, bench in BENCHES:
         best = float("inf")
@@ -121,6 +175,7 @@ def main(argv: List[str] | None = None) -> None:
         for _ in range(args.repeat):
             count, elapsed = bench(args.events)
             best = min(best, elapsed)
+        rates[name] = count / best
         print(f"{name:<16} {count:>10,} {best:>9.4f} {count / best:>14,.0f}")
 
     if not args.skip_experiment:
@@ -129,7 +184,11 @@ def main(argv: List[str] | None = None) -> None:
         for _ in range(args.repeat):
             ops, elapsed = _bench_experiment()
             best = min(best, elapsed)
+        rates["experiment"] = ops / best
         print(f"{'experiment':<16} {ops:>10,} {best:>9.4f} {ops / best:>14,.0f}  (ops/sec)")
+
+    if args.floor_file:
+        _emit_warnings(check_floor(rates, args.floor_file, args.warn_pct), args.floor_file)
 
 
 if __name__ == "__main__":

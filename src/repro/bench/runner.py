@@ -199,6 +199,178 @@ def write_artifact(path: str, payload: Dict[str, Any]) -> None:
         handle.write("\n")
 
 
+# --------------------------------------------------------- baseline diffing
+#: Per-metric relative tolerances for ``--diff-baseline``, matched by the
+#: first rule whose key is a substring of the metric's path (checked in
+#: order). Artifacts are deterministic for a fixed code version, so a rerun
+#: of unchanged code always diffs clean; the tolerances define how much a
+#: *code change* may legitimately move each metric before CI calls it a
+#: regression. Latency percentiles wobble more than means under protocol
+#: tweaks; counter-like metrics (message counts, aborts) are the noisiest.
+DEFAULT_DIFF_TOLERANCES: "List[Tuple[str, float]]" = [
+    ("messages_sent", 0.25),
+    ("rmws_aborted", 0.50),
+    ("reconfiguration_times", 0.25),
+    ("p99", 0.35),
+    ("_us", 0.25),
+    ("series", 0.50),
+    ("ratio", 0.25),
+    ("", 0.15),  # default: throughput-like metrics
+]
+
+#: Payload keys that are derived presentation (skipped when diffing).
+_DIFF_SKIP_KEYS = frozenset({"rows", "notes"})
+
+
+@dataclasses.dataclass
+class DiffEntry:
+    """One compared metric from a baseline diff."""
+
+    figure: str
+    path: str
+    baseline: Any
+    fresh: Any
+    drift: float
+    tolerance: float
+    ok: bool
+
+
+def _tolerance_for(path: str, tolerances: Sequence[Tuple[str, float]]) -> float:
+    for key, tol in tolerances:
+        if key in path:
+            return tol
+    return 0.0
+
+
+def _relative_drift(a: float, b: float) -> float:
+    scale = max(abs(a), abs(b))
+    if scale == 0.0:
+        return 0.0
+    return abs(a - b) / scale
+
+
+def diff_payloads(
+    figure: str,
+    baseline: Any,
+    fresh: Any,
+    tolerances: Sequence[Tuple[str, float]] = (),
+    path: str = "",
+) -> List[DiffEntry]:
+    """Compare two artifact payload fragments, returning one entry per leaf.
+
+    Numeric leaves compare with the relative tolerance selected by the
+    metric's path; all other leaves (strings, booleans, None) and the tree
+    structure itself must match exactly. ``rows`` and ``notes`` are skipped
+    — they are text renderings of the ``data`` numbers.
+    """
+    tolerances = tolerances or DEFAULT_DIFF_TOLERANCES
+    entries: List[DiffEntry] = []
+
+    def mismatch(p: str, a: Any, b: Any) -> None:
+        entries.append(DiffEntry(figure, p, a, b, float("inf"), 0.0, False))
+
+    def walk(a: Any, b: Any, p: str) -> None:
+        if isinstance(a, dict) and isinstance(b, dict):
+            keys_a = set(a) - _DIFF_SKIP_KEYS
+            keys_b = set(b) - _DIFF_SKIP_KEYS
+            for missing in sorted(keys_a ^ keys_b):
+                mismatch(f"{p}/{missing}", a.get(missing, "<absent>"), b.get(missing, "<absent>"))
+            for key in sorted(keys_a & keys_b):
+                walk(a[key], b[key], f"{p}/{key}")
+            return
+        if isinstance(a, list) and isinstance(b, list):
+            if len(a) != len(b):
+                mismatch(f"{p}/len", len(a), len(b))
+                return
+            for index, (item_a, item_b) in enumerate(zip(a, b)):
+                walk(item_a, item_b, f"{p}[{index}]")
+            return
+        numeric_a = isinstance(a, (int, float)) and not isinstance(a, bool)
+        numeric_b = isinstance(b, (int, float)) and not isinstance(b, bool)
+        if numeric_a and numeric_b:
+            drift = _relative_drift(float(a), float(b))
+            tolerance = _tolerance_for(p, tolerances)
+            entries.append(DiffEntry(figure, p, a, b, drift, tolerance, drift <= tolerance))
+            return
+        if a != b:
+            mismatch(p, a, b)
+
+    walk(baseline, fresh, path)
+    return entries
+
+
+def parse_tolerance_overrides(specs: Sequence[str]) -> List[Tuple[str, float]]:
+    """Parse repeated ``KEY=VALUE`` tolerance overrides (prepended to defaults)."""
+    rules: List[Tuple[str, float]] = []
+    for item in specs:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise BenchmarkError(f"tolerance override {item!r} is not KEY=VALUE")
+        try:
+            rules.append((key, float(value)))
+        except ValueError as exc:
+            raise BenchmarkError(f"invalid tolerance value in {item!r}") from exc
+    return rules + DEFAULT_DIFF_TOLERANCES
+
+
+def diff_against_baseline(
+    figure: str,
+    fresh_payload: Dict[str, Any],
+    baseline_dir: str,
+    tolerances: Sequence[Tuple[str, float]] = (),
+) -> Tuple[List[DiffEntry], List[str]]:
+    """Diff a freshly produced figure payload against a committed baseline.
+
+    Returns:
+        ``(entries, errors)`` — per-metric comparisons plus fatal problems
+        (missing baseline file, scale/seed mismatch).
+    """
+    errors: List[str] = []
+    path = os.path.join(baseline_dir, artifact_name(figure))
+    if not os.path.exists(path):
+        return [], [f"no baseline artifact {path}"]
+    with open(path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    for field_name in ("figure", "scale", "seed"):
+        if baseline.get(field_name) != fresh_payload.get(field_name):
+            errors.append(
+                f"{figure}: baseline {field_name}={baseline.get(field_name)!r} does not match "
+                f"fresh run {field_name}={fresh_payload.get(field_name)!r}"
+            )
+    if errors:
+        return [], errors
+    # Round-trip the fresh payload through JSON so both sides have identical
+    # type/shape treatment (tuples become lists, keys become strings).
+    fresh = json.loads(json.dumps(_jsonable(fresh_payload), sort_keys=True))
+    return diff_payloads(figure, baseline, fresh, tolerances), errors
+
+
+def write_diff_report(path: str, entries: List[DiffEntry], errors: List[str]) -> None:
+    """Write the machine-readable diff report next to the artifacts.
+
+    Structural mismatches carry ``drift=inf`` internally; the report maps
+    them to ``null`` so the JSON stays strictly parseable (the bare
+    ``Infinity`` token json.dump would emit is not valid JSON).
+    """
+
+    def finite(value: float) -> Optional[float]:
+        return value if value != float("inf") else None
+
+    failing = [e for e in entries if not e.ok]
+    finite_drifts = [e.drift for e in entries if e.drift != float("inf")]
+    payload = {
+        "ok": not failing and not errors,
+        "compared": len(entries),
+        "failures": [
+            {**dataclasses.asdict(e), "drift": finite(e.drift)} for e in failing
+        ],
+        "errors": errors,
+        "structural_mismatches": sum(1 for e in entries if e.drift == float("inf")),
+        "worst_drift": max(finite_drifts, default=0.0),
+    }
+    write_artifact(path, _jsonable(payload))
+
+
 # ------------------------------------------------------------- figure CLI
 def _figure_functions() -> Dict[str, List[Callable[..., Any]]]:
     """Figure key -> list of figure functions (imported lazily: the
@@ -238,6 +410,8 @@ def _figure_functions() -> Dict[str, List[Callable[..., Any]]]:
         "9": [fixed(exp.figure_9_failure, seed=True)],
         "table2": [fixed(exp.table_2_features)],
         "ablations": [gridded(exp.ablation_optimizations), gridded(exp.ablation_wings_batching)],
+        "openloop": [gridded(exp.figure_open_loop)],
+        "rmw": [gridded(exp.figure_rmw_mix)],
     }
 
 
@@ -338,6 +512,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-artifacts", action="store_true", help="skip writing BENCH_*.json files"
     )
     parser.add_argument("--quiet", action="store_true", help="suppress text tables")
+    parser.add_argument(
+        "--diff-baseline",
+        metavar="DIR",
+        help="compare the fresh run against committed BENCH_*.json baselines in "
+        "DIR with per-metric tolerances; exit non-zero on drift",
+    )
+    parser.add_argument(
+        "--diff-tolerance",
+        action="append",
+        default=[],
+        metavar="KEY=REL",
+        help="override a diff tolerance (path-substring = relative tolerance; "
+        "repeatable, e.g. --diff-tolerance throughput=0.05)",
+    )
     args = parser.parse_args(argv)
 
     known = sorted(_figure_functions())
@@ -353,11 +541,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except BenchmarkError as exc:
         parser.error(str(exc))
 
+    try:
+        tolerances = parse_tolerance_overrides(args.diff_tolerance)
+    except BenchmarkError as exc:
+        parser.error(str(exc))
+
     output_dir = None if args.no_artifacts else args.output_dir
     if output_dir is not None:
         os.makedirs(output_dir, exist_ok=True)
+    entries: List[DiffEntry] = []
+    errors: List[str] = []
     for figure in figures:
-        run_figure(
+        payload = run_figure(
             figure,
             scale,
             seed=args.seed,
@@ -365,7 +560,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             output_dir=output_dir,
             print_tables=not args.quiet,
         )
-    return 0
+        if args.diff_baseline:
+            figure_entries, figure_errors = diff_against_baseline(
+                figure, payload, args.diff_baseline, tolerances
+            )
+            entries.extend(figure_entries)
+            errors.extend(figure_errors)
+
+    if not args.diff_baseline:
+        return 0
+
+    failing = [e for e in entries if not e.ok]
+    report_path = None
+    if output_dir is not None:
+        # --no-artifacts promises no files; the report is itself an artifact.
+        report_path = os.path.join(output_dir, "BENCH_DIFF.json")
+        write_diff_report(report_path, entries, errors)
+    print(
+        f"baseline diff vs {args.diff_baseline}: {len(entries)} metrics compared, "
+        f"{len(failing)} out of tolerance, {len(errors)} errors"
+        + (f" -> {report_path}" if report_path else "")
+    )
+    for error in errors:
+        print(f"  ERROR {error}")
+    for entry in failing[:20]:
+        print(
+            f"  DRIFT {entry.figure}{entry.path}: baseline={entry.baseline!r} "
+            f"fresh={entry.fresh!r} drift={entry.drift:.3f} tol={entry.tolerance:.3f}"
+        )
+    if len(failing) > 20:
+        where = f" (see {report_path})" if report_path else ""
+        print(f"  ... and {len(failing) - 20} more{where}")
+    return 1 if failing or errors else 0
 
 
 if __name__ == "__main__":

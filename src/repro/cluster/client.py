@@ -20,6 +20,7 @@ optionally, an invocation/response history for the linearizability checker.
 from __future__ import annotations
 
 import random
+from functools import partial
 from typing import List, Optional
 
 from repro.cluster.cluster import Cluster
@@ -32,6 +33,13 @@ from repro.workloads.generator import WorkloadMix
 #: request decode/dispatch over the local RPC path. Applied on the way in and
 #: on the way out, so reads cost roughly twice this value end-to-end.
 DEFAULT_REQUEST_LATENCY = 0.75e-6
+
+#: Fractional jitter applied per request/response leg: local RPC dispatch is
+#: not perfectly deterministic in practice, and the jitter also keeps client
+#: activity off an exact time lattice (deterministic lattices make distinct
+#: simulated events collide on identical timestamps, where tie-breaking —
+#: not physics — decides the interleaving).
+CLIENT_LATENCY_JITTER = 0.05
 
 
 class ClientSession:
@@ -53,29 +61,60 @@ class ClientSession:
         if replica_id is None:
             replica_id = cluster.node_ids[client_id % len(cluster.node_ids)]
         self.replica_id = replica_id
+        self._replica = cluster.replica(replica_id)
+        self._sim = cluster.sim
         self.request_latency = request_latency
+        # Per-client deterministic stream for request/response latency
+        # jitter, drawn in issue order (bind .random once; it is consumed
+        # twice per operation). The workload seed is folded in so that
+        # different experiment seeds decorrelate the jitter streams, like
+        # the workload and open-loop arrival RNGs.
+        self._lat_random = random.Random(
+            (workload.seed * 1_000_003 + (client_id + 1) * 0x9E3779B1) & 0x7FFFFFFF
+        ).random
         self.results: List[OperationResult] = []
         self.issued = 0
         self.completed = 0
         self.aborted = 0
+        # Only sessions that actually override on_complete (e.g. closed-loop
+        # issuance) pay for a completion event per operation.
+        self._wants_completion_hook = (
+            type(self).on_complete is not ClientSession.on_complete
+        )
 
     # ------------------------------------------------------------ bookkeeping
+    def _draw_latencies(self) -> "tuple[float, float]":
+        """Jittered (request, response) latencies for one operation."""
+        base = self.request_latency
+        if base <= 0:
+            return 0.0, 0.0
+        rnd = self._lat_random
+        jitter = CLIENT_LATENCY_JITTER
+        return (
+            base * (1.0 + (rnd() * 2.0 - 1.0) * jitter),
+            base * (1.0 + (rnd() * 2.0 - 1.0) * jitter),
+        )
+
     def _issue(self, op: Operation) -> None:
         self.issued += 1
         start = self.cluster.sim.now
         if self.history is not None:
             self.history.invoke(op, start)
-        if self.request_latency > 0:
-            self.cluster.sim.schedule(self.request_latency, self._submit, op, start)
+        request_lat, response_lat = self._draw_latencies()
+        if request_lat > 0:
+            self._replica.submit_at(start + request_lat, op, partial(self._record, start, response_lat))
         else:
             self._submit(op, start)
 
     def _submit(self, op: Operation, start: float) -> None:
-        replica = self.cluster.replica(self.replica_id)
-        replica.submit(op, lambda o, status, value, _start=start: self._record(o, status, value, _start))
+        self._replica.submit(op, partial(self._record, start, 0.0))
 
-    def _record(self, op: Operation, status: OpStatus, value: Value, start: float) -> None:
-        end = self.cluster.sim.now + self.request_latency
+    def _record(self, start: float, response_lat: float, op: Operation, status: OpStatus, value: Value) -> None:
+        # Note the argument order: ``start`` and the response-leg latency
+        # lead so completion callbacks can be built with a positional
+        # functools.partial (cheaper to call than a keyword-bound one; this
+        # runs once per operation).
+        end = self._sim._now + response_lat
         if self.history is not None:
             self.history.respond(op, end, status, value)
         self.completed += 1
@@ -91,13 +130,26 @@ class ClientSession:
                 served_by=self.replica_id,
             )
         )
-        if self.request_latency > 0:
-            self.cluster.sim.schedule(self.request_latency, self.on_complete, op, status, value)
+        self._completion_chain(response_lat)
+        if not self._wants_completion_hook:
+            return
+        if response_lat > 0:
+            self.cluster.sim.schedule(response_lat, self.on_complete, op, status, value)
         else:
             self.on_complete(op, status, value)
 
+    def _completion_chain(self, response_lat: float) -> None:
+        """Internal hook run inline at completion time (no extra event).
+
+        Subclasses that react to completions at the *client side* of the
+        request latency (i.e. at ``now + request_latency``) should override
+        :meth:`on_complete` instead; this hook runs at the replica-side
+        completion instant and is used by the closed loop to schedule the
+        next request without paying one simulator event per operation.
+        """
+
     def on_complete(self, op: Operation, status: OpStatus, value: Value) -> None:
-        """Hook for subclasses (e.g. to issue the next closed-loop request)."""
+        """Hook for subclasses (e.g. reacting to completions client-side)."""
 
 
 class ClosedLoopClient(ClientSession):
@@ -141,13 +193,36 @@ class ClosedLoopClient(ClientSession):
             return
         self._issue(self.workload.next_operation(self.client_id))
 
-    def on_complete(self, op: Operation, status: OpStatus, value: Value) -> None:
+    def _completion_chain(self, response_lat: float) -> None:
+        """Schedule the next request with a single simulator event.
+
+        The faithful chain (completion event at ``now +`` the response-leg
+        latency, optional think time, then a submit event one request-leg
+        latency later) is collapsed into one event at the same final
+        timestamp.
+        The invocation ("issue") time itself never carried an event handler
+        other than bookkeeping, so it is computed here and passed along.
+        With a recorded history the issue must be recorded at its true
+        time, so one event at the issue time is kept.
+        """
         if self.issued >= self.max_ops:
             return
+        sim = self._sim
+        issue_time = sim._now + response_lat if response_lat > 0 else sim._now
         if self.think_time > 0:
-            self.cluster.sim.schedule(self.think_time, self._issue_next)
+            issue_time += self.think_time
+        if self.history is not None:
+            sim.schedule_at(issue_time, self._issue_next)
+            return
+        self.issued += 1
+        op = self.workload.next_operation(self.client_id)
+        request_lat, next_response_lat = self._draw_latencies()
+        if request_lat > 0 or issue_time > sim._now:
+            self._replica.submit_at(
+                issue_time + request_lat, op, partial(self._record, issue_time, next_response_lat)
+            )
         else:
-            self.cluster.sim.call_soon(self._issue_next)
+            self._submit(op, issue_time)
 
 
 class OpenLoopClient(ClientSession):

@@ -23,8 +23,13 @@ from repro.types import Key, Value
 #: Size of the epoch tag carried by every Hermes message.
 EPOCH_TAG_BYTES = 4
 
+# Messages are plain dataclasses compared by identity: one is created per
+# protocol step on the benchmark hot path, and a frozen dataclass __init__
+# (object.__setattr__ per field) costs ~4x a regular one. Protocol code
+# never mutates, compares or hashes them by value.
 
-@dataclass(frozen=True)
+
+@dataclass(eq=False)
 class HermesMessage:
     """Base class for Hermes protocol messages."""
 
@@ -33,7 +38,7 @@ class HermesMessage:
     epoch_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(eq=False)
 class Inv(HermesMessage):
     """Invalidation message: ``INV(key, TS, value)`` plus the RMW flag.
 
@@ -55,7 +60,7 @@ class Inv(HermesMessage):
         return self.key_size + TIMESTAMP_BYTES + EPOCH_TAG_BYTES + 1 + self.value_size
 
 
-@dataclass(frozen=True)
+@dataclass(eq=False)
 class Ack(HermesMessage):
     """Acknowledgement of an invalidation, echoing its timestamp.
 
@@ -75,7 +80,7 @@ class Ack(HermesMessage):
         return self.key_size + TIMESTAMP_BYTES + EPOCH_TAG_BYTES + 2
 
 
-@dataclass(frozen=True)
+@dataclass(eq=False)
 class Val(HermesMessage):
     """Validation message completing a write at the followers."""
 

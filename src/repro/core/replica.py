@@ -60,6 +60,21 @@ class HermesReplica(ReplicaNode):
         self._stalled: Dict[Key, List[StalledRequest]] = {}
         #: Optimization O3 bookkeeping: acks observed per (key, timestamp).
         self._observed_acks: Dict[Tuple[Key, Timestamp], Set[NodeId]] = {}
+        # Bound store-dict access once: _record() runs for every read, INV,
+        # ACK and VAL (the store's record dict is never reassigned).
+        self._records_get = self.store._records.get
+        # Expected-acker cache, invalidated by view-object identity.
+        self._ackers_view: Optional[MembershipView] = None
+        self._ackers_cache: Set[NodeId] = set()
+        # Flattened per-message constants (config is fixed for the run).
+        self._broadcast_acks = self.hermes_config.broadcast_acks
+        self._mlt = self.hermes_config.mlt
+        self._ack_size = Ack(
+            key=0, ts=Timestamp.ZERO, epoch_id=0, acker=0, key_size=self.config.key_size
+        ).size_bytes
+        self._val_size = Val(
+            key=0, ts=Timestamp.ZERO, epoch_id=0, key_size=self.config.key_size
+        ).size_bytes
         # Statistics exposed to the analysis layer and tests.
         self.writes_committed = 0
         self.rmws_committed = 0
@@ -88,21 +103,25 @@ class HermesReplica(ReplicaNode):
     def handle_client_op(self, op: Operation, callback: ClientCallback) -> None:
         """Dispatch a client read / write / RMW."""
         if op.op_type is OpType.READ:
-            self._handle_read(op, callback)
+            # Inlined read fast path: local reads dominate most
+            # workloads and this dispatch runs once per operation.
+            record = self._records_get(op.key)
+            if record is not None and record.meta is not None:
+                meta = record.meta
+            else:
+                record, meta = self._record(op.key)
+            if meta.state is KeyState.VALID:
+                self.reads_served_locally += 1
+                self.ops_completed += 1
+                callback(op, OpStatus.OK, record.value)
+                return
+            self._stall(op, callback, meta)
         elif op.op_type is OpType.WRITE:
             self._handle_write(op, callback)
         elif op.op_type is OpType.RMW:
             self._handle_rmw(op, callback)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unsupported operation type {op.op_type}")
-
-    def _handle_read(self, op: Operation, callback: ClientCallback) -> None:
-        record, meta = self._record(op.key)
-        if meta.readable:
-            self.reads_served_locally += 1
-            self.complete(op, callback, OpStatus.OK, record.value)
-            return
-        self._stall(op, callback, meta)
 
     def _handle_write(self, op: Operation, callback: ClientCallback) -> None:
         record, meta = self._record(op.key)
@@ -153,7 +172,8 @@ class HermesReplica(ReplicaNode):
             key=key, ts=ts, value=value, is_rmw=is_rmw, is_replay=False, op=op, callback=callback
         )
         self._pending[key] = pending
-        self.tracer.record(self.sim.now, self.node_id, "write-start", key=key, ts=ts)
+        if self.tracer.enabled:
+            self.tracer.record(self.sim.now, self.node_id, "write-start", key=key, ts=ts)
         self._broadcast_inv(pending)
 
     def _start_replay(self, key: Key) -> None:
@@ -189,7 +209,7 @@ class HermesReplica(ReplicaNode):
         self.transport.broadcast(self.peers(), inv, inv.size_bytes)
         pending.cancel_timer()
         pending.mlt_timer = self.set_timer(
-            self.hermes_config.mlt, self._coordinator_mlt_expired, pending.key, pending.ts
+            self._mlt, self._coordinator_mlt_expired, pending.key, pending.ts
         )
         # A single-replica membership (or one where everyone already acked)
         # commits immediately.
@@ -206,11 +226,15 @@ class HermesReplica(ReplicaNode):
 
     def _expected_ackers(self) -> Set[NodeId]:
         """Live replicas whose ACK is required before a commit."""
-        return set(self.view.others(self.node_id))
+        view = self.view
+        if view is not self._ackers_view:
+            self._ackers_view = view
+            self._ackers_cache = set(view.others(self.node_id))
+        return self._ackers_cache
 
     def _maybe_commit(self, pending: PendingUpdate) -> None:
         """CACK + CVAL: commit once every live replica has acknowledged."""
-        if not pending.acked_by_all(self._expected_ackers()):
+        if not self._expected_ackers().issubset(pending.acks):
             return
         if self._pending.get(pending.key) is not pending:
             return
@@ -250,10 +274,11 @@ class HermesReplica(ReplicaNode):
             self.rmws_committed += 1
         elif not pending.is_replay:
             self.writes_committed += 1
-        self.tracer.record(
-            self.sim.now, self.node_id, "commit", key=pending.key, ts=pending.ts,
-            replay=pending.is_replay,
-        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.sim.now, self.node_id, "commit", key=pending.key, ts=pending.ts,
+                replay=pending.is_replay,
+            )
 
         if not skip_val:
             val = Val(
@@ -262,7 +287,7 @@ class HermesReplica(ReplicaNode):
                 epoch_id=self.view.epoch_id,
                 key_size=self.config.key_size,
             )
-            self.transport.broadcast(self.peers(), val, val.size_bytes)
+            self.transport.broadcast(self.peers(), val, self._val_size)
         self._drain_stalled(pending.key)
 
     def _notify_client(self, pending: PendingUpdate, status: OpStatus) -> None:
@@ -333,25 +358,19 @@ class HermesReplica(ReplicaNode):
                 meta.transition(meta.state)
 
         # FACK: always acknowledge with the message's timestamp.
-        ack = Ack(
-            key=inv.key,
-            ts=inv.ts,
-            epoch_id=self.view.epoch_id,
-            acker=self.node_id,
-            key_size=self.config.key_size,
-        )
-        if self.hermes_config.broadcast_acks:
-            self.transport.broadcast(self.peers(), ack, ack.size_bytes)
+        ack = Ack(inv.key, inv.ts, self.view.epoch_id, self.node_id, self.config.key_size)
+        if self._broadcast_acks:
+            self.transport.broadcast(self.peers(), ack, self._ack_size)
             self._record_observed_ack(inv.key, inv.ts, self.node_id)
         else:
-            self.transport.send(src, ack, ack.size_bytes)
+            self.transport.send(src, ack, self._ack_size)
 
     def _on_ack(self, src: NodeId, ack: Ack) -> None:
         if ack.epoch_id != self.view.epoch_id:
             self.epoch_drops += 1
             return
         acker = ack.acker if ack.acker >= 0 else src
-        if self.hermes_config.broadcast_acks:
+        if self._broadcast_acks:
             self._record_observed_ack(ack.key, ack.ts, acker)
         pending = self._pending.get(ack.key)
         if pending is None or ack.ts != pending.ts:
@@ -431,8 +450,10 @@ class HermesReplica(ReplicaNode):
 
     def _drain_stalled(self, key: Key) -> None:
         """Re-examine requests parked on ``key`` after a state change."""
-        record = self.store.try_get_record(key)
-        if record is None or record.meta is None or not record.meta.readable:
+        if key not in self._stalled:
+            return
+        record = self._records_get(key)
+        if record is None or record.meta is None or record.meta.state is not KeyState.VALID:
             return
         waiting = self._stalled.pop(key, None)
         if not waiting:
@@ -460,12 +481,13 @@ class HermesReplica(ReplicaNode):
     # -------------------------------------------------------------- helpers
     def _record(self, key: Key) -> Tuple[ValueRecord, KeyMeta]:
         """Fetch (creating if needed) the record and protocol metadata of a key."""
-        record = self.store.try_get_record(key)
+        record = self._records_get(key)
         if record is None:
             record = self.store.put(key, None, meta=KeyMeta())
-        elif record.meta is None:
-            record.meta = KeyMeta()
-        return record, record.meta
+        meta = record.meta
+        if meta is None:
+            meta = record.meta = KeyMeta()
+        return record, meta
 
     def key_state(self, key: Key) -> KeyState:
         """Protocol state of ``key`` at this replica (Valid for unknown keys)."""

@@ -58,6 +58,14 @@ ALLOWED_TRANSITIONS: Dict[KeyState, FrozenSet[KeyState]] = {
     KeyState.TRANS: frozenset({KeyState.INVALID, KeyState.VALID, KeyState.TRANS}),
 }
 
+# Bitmask mirror of ALLOWED_TRANSITIONS: enum hashing is a Python-level
+# call in CPython, so the transition hot path tests membership with integer
+# masks attached to each member instead of a dict + frozenset lookup.
+for _index, _state in enumerate(KeyState):
+    _state._mask = 1 << _index
+for _state, _targets in ALLOWED_TRANSITIONS.items():
+    _state._allowed_mask = sum(t._mask for t in _targets)
+
 
 @dataclass
 class KeyMeta:
@@ -87,10 +95,13 @@ class KeyMeta:
             InvalidTransition: if the transition is not in
                 :data:`ALLOWED_TRANSITIONS`.
         """
-        allowed = ALLOWED_TRANSITIONS[self.state]
-        if new_state not in allowed:
-            raise InvalidTransition(f"illegal transition {self.state.value} -> {new_state.value}")
         previous = self.state
+        if new_state is previous:
+            # Every self-loop is legal (see ALLOWED_TRANSITIONS); skip the
+            # mask test on this hot no-op case.
+            return previous
+        if not (new_state._mask & previous._allowed_mask):
+            raise InvalidTransition(f"illegal transition {previous.value} -> {new_state.value}")
         self.state = new_state
         return previous
 

@@ -41,17 +41,32 @@ class Timestamp:
     #: The zero timestamp every key starts from (assigned after the class body).
     ZERO: ClassVar["Timestamp"]
 
+    # Comparisons avoid the tuple-pair allocation of the naive
+    # ``(version, cid) < (version, cid)`` spelling: timestamps are compared
+    # on every INV/ACK/VAL, so this is protocol-hot-path code.
     def __lt__(self, other: "Timestamp") -> bool:
-        return (self.version, self.cid) < (other.version, other.cid)
+        sv, ov = self.version, other.version
+        return sv < ov or (sv == ov and self.cid < other.cid)
 
     def __le__(self, other: "Timestamp") -> bool:
-        return (self.version, self.cid) <= (other.version, other.cid)
+        sv, ov = self.version, other.version
+        return sv < ov or (sv == ov and self.cid <= other.cid)
 
     def __gt__(self, other: "Timestamp") -> bool:
-        return (self.version, self.cid) > (other.version, other.cid)
+        sv, ov = self.version, other.version
+        return sv > ov or (sv == ov and self.cid > other.cid)
 
     def __ge__(self, other: "Timestamp") -> bool:
-        return (self.version, self.cid) >= (other.version, other.cid)
+        sv, ov = self.version, other.version
+        return sv > ov or (sv == ov and self.cid >= other.cid)
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Timestamp:
+            return NotImplemented
+        return self.version == other.version and self.cid == other.cid
+
+    def __hash__(self) -> int:
+        return hash((self.version, self.cid))
 
     def increment(self, cid: int, by: int = 1) -> "Timestamp":
         """A successor timestamp with the version advanced and a new cid.

@@ -69,6 +69,10 @@ class MembershipAgent:
     # --------------------------------------------------------------- queries
     def is_operational(self) -> bool:
         """Whether this replica may serve requests (valid lease + member)."""
+        if self.lease.expires_at == math.inf:
+            # Static-lease mode (no RM service): skip the clock read — an
+            # infinite lease is valid at every local time.
+            return self.node_id in self.view.members
         return self.lease.valid(self._local_clock()) and self.view.contains(self.node_id)
 
     def require_operational(self) -> None:

@@ -130,6 +130,10 @@ class ReplicaNode(NodeProcess):
         self.ops_completed = 0
         self.reads_served_locally = 0
         self.reads_served_remotely = 0
+        # peers() cache, invalidated by view-object identity (views are
+        # frozen dataclasses; every membership change installs a new one).
+        self._peers_view: Optional[MembershipView] = None
+        self._peers_cache: Tuple[NodeId, ...] = ()
 
     # --------------------------------------------------------------- clocks
     def local_time(self) -> float:
@@ -144,9 +148,20 @@ class ReplicaNode(NodeProcess):
         the callback fires when the protocol completes the operation.
         """
         size = self.config.key_size
-        if op.op_type.is_update:
+        if op.op_type is not OpType.READ:
             size += self.config.value_size
         self.submit_local((op, callback), size_bytes=size)
+
+    def submit_at(self, time: float, op: Operation, callback: ClientCallback) -> None:
+        """Submit a client operation arriving at a future simulated time.
+
+        Used by client sessions to model their request latency without one
+        simulator event per hand-off (see ``NodeProcess.submit_local_at``).
+        """
+        size = self.config.key_size
+        if op.op_type is not OpType.READ:
+            size += self.config.value_size
+        self.submit_local_at(time, (op, callback), size_bytes=size)
 
     # -------------------------------------------------- NodeProcess plumbing
     def on_local_work(self, work: Tuple[Operation, ClientCallback]) -> None:
@@ -155,16 +170,28 @@ class ReplicaNode(NodeProcess):
             self.complete(op, callback, OpStatus.UNAVAILABLE)
             return
         self.handle_client_op(op, callback)
-        self.transport.flush()
+        transport = self.transport
+        if type(transport) is not DirectTransport:
+            transport.flush()
 
     def on_message(self, src: NodeId, message: Any) -> None:
-        for inner, _size in self.transport.unpack(src, message):
+        transport = self.transport
+        if type(transport) is DirectTransport:
+            # Fast path: unbatched transports pass messages through verbatim
+            # and flush is a no-op, so skip the unpack list allocation.
+            if isinstance(message, MembershipMessage):
+                self.membership_agent.handle(src, message)
+                self.view = self.membership_agent.view
+            else:
+                self.handle_protocol_message(src, message)
+            return
+        for inner, _size in transport.unpack(src, message):
             if isinstance(inner, MembershipMessage):
                 self.membership_agent.handle(src, inner)
                 self.view = self.membership_agent.view
             else:
                 self.handle_protocol_message(src, inner)
-        self.transport.flush()
+        transport.flush()
 
     # ------------------------------------------------------------ overrides
     def handle_client_op(self, op: Operation, callback: ClientCallback) -> None:
@@ -199,9 +226,13 @@ class ReplicaNode(NodeProcess):
         self.ops_completed += 1
         callback(op, status, value)
 
-    def peers(self) -> Iterable[NodeId]:
-        """Live peers (all view members except this node)."""
-        return self.view.others(self.node_id)
+    def peers(self) -> Tuple[NodeId, ...]:
+        """Live peers (all view members except this node), in sorted order."""
+        view = self.view
+        if view is not self._peers_view:
+            self._peers_view = view
+            self._peers_cache = tuple(sorted(view.others(self.node_id)))
+        return self._peers_cache
 
     def preload(self, key: Key, value: Value) -> None:
         """Install an initial value during dataset loading (no replication)."""

@@ -185,7 +185,7 @@ class ChainReplicationReplica(ReplicaNode):
     def _forward_down(self, key: Key, version: int, value: Value, origin: NodeId, op_id: int) -> None:
         successor = self.successor()
         if successor is None:
-            self._tail_commit(key, value, origin, op_id)
+            self._tail_commit(key, version, value, origin, op_id)
             return
         message = CrWriteDown(key=key, version=version, value=value, origin=origin, op_id=op_id)
         self.transport.send(
@@ -193,16 +193,28 @@ class ChainReplicationReplica(ReplicaNode):
         )
 
     def _on_write_down(self, message: CrWriteDown) -> None:
-        self.store.put(message.key, message.value, meta=self._meta(message.key))
+        # Real chain replication runs over FIFO links; the simulated fabric
+        # can reorder messages (latency jitter), so apply a write-down only
+        # if it is newer than the local version — otherwise replicas could
+        # permanently diverge when two writes to one key swap on a link.
+        # Stale write-downs are still forwarded/committed so their origin
+        # receives a reply.
+        meta = self._meta(message.key)
+        if message.version > meta.version:
+            meta.version = message.version
+            self.store.put(message.key, message.value, meta=meta)
         if self.is_tail:
-            self._tail_commit(message.key, message.value, message.origin, message.op_id)
+            self._tail_commit(message.key, message.version, message.value, message.origin, message.op_id)
         else:
             self._forward_down(
                 message.key, message.version, message.value, message.origin, message.op_id
             )
 
-    def _tail_commit(self, key: Key, value: Value, origin: NodeId, op_id: int) -> None:
-        self.store.put(key, value, meta=self._meta(key))
+    def _tail_commit(self, key: Key, version: int, value: Value, origin: NodeId, op_id: int) -> None:
+        meta = self._meta(key)
+        if version > meta.version:
+            meta.version = version
+            self.store.put(key, value, meta=meta)
         self.writes_committed += 1
         if origin == self.node_id:
             self._complete_pending(op_id, value)

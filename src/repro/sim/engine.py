@@ -111,7 +111,8 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._heap: List[EventHandle] = []
+        # Entries are EventHandles (cancellable) or plain lists (node inbox).
+        self._heap: List[list] = []
         self._seq = 0
         self._events_executed = 0
         self._cancelled_pending = 0
@@ -165,6 +166,12 @@ class Simulator:
         """Schedule ``callback(*args)`` at the current simulated time."""
         return self._push(self._now, callback, args)
 
+    # Note for maintainers: the node inbox (repro.sim.node) pushes plain
+    # list entries ``[time, seq, callback, args, False]`` into ``_heap``
+    # directly — no EventHandle, no cancellation back-reference — and
+    # allocates their seqs from ``_seq`` at message-send time so that
+    # same-timestamp finish events tie-break in arrival order. Keep the
+    # entry layout and the seq counter semantics in sync with that code.
     def _push(self, time: float, callback: Callable[..., None], args: tuple) -> EventHandle:
         seq = self._seq
         self._seq = seq + 1
@@ -211,6 +218,35 @@ class Simulator:
         heap = self._heap
         heappop = heapq.heappop
         try:
+            if max_events is None and until is not None:
+                # Specialized loop for the dominant run_until(...) pattern:
+                # no per-event max_events bookkeeping, `until` bound check
+                # without the None test.
+                while heap:
+                    if self._stopped:
+                        break
+                    entry = heap[0]
+                    callback = entry[_CALLBACK]
+                    if callback is None:
+                        heappop(heap)
+                        self._cancelled_pending -= 1
+                        continue
+                    event_time = entry[_TIME]
+                    if event_time > until:
+                        self._now = until
+                        break
+                    heappop(heap)
+                    self._now = event_time
+                    args = entry[_ARGS]
+                    entry[_CALLBACK] = None
+                    entry[_ARGS] = ()
+                    callback(*args)
+                    self._events_executed += 1
+                    heap = self._heap
+                else:
+                    if until > self._now:
+                        self._now = until
+                return self._now
             while heap:
                 if self._stopped:
                     break

@@ -9,13 +9,27 @@ protocol comparison:
 * network partitions (paper §3.4 "Network Partitions"),
 * crashed receivers silently dropping traffic.
 
-The model delivers messages by invoking a receiver callback registered per
-node; the callback is typically :meth:`repro.sim.node.NodeProcess.deliver`,
-which adds CPU queueing on top of network latency.
+Two delivery paths exist:
+
+* **Batched** (default, used by :class:`~repro.sim.node.NodeProcess`): the
+  arrival is pushed straight into the destination node's arrival inbox at
+  send time, with the arrival timestamp precomputed. No simulator event is
+  spent on the delivery itself; the node schedules exactly one event per
+  message, at the time its handler runs. This halves the event count on the
+  experiment hot path while computing byte-identical handler times (see
+  :mod:`repro.sim.node` for the equivalence argument).
+* **Legacy/callback** (plain receivers registered with :meth:`Network.register`,
+  or ``NetworkConfig.batch_delivery=False``): the network schedules one
+  delivery event per message and invokes the receiver callback when it fires.
+
+Randomness is drawn through a bulk-refilled buffer of raw uniform draws so
+both paths consume the underlying :class:`random.Random` stream in exactly
+the same per-message order — batching never perturbs the jitter sequence.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 import random
@@ -29,6 +43,20 @@ ReceiveCallback = Callable[[NodeId, Any, int], None]
 
 #: Default application-level header size in bytes (UD send + Wings header).
 DEFAULT_HEADER_BYTES = 42
+
+#: How many raw uniform draws are prefetched per refill of the RNG buffer.
+_RNG_BUFFER_SIZE = 1024
+
+
+def _default_batch_delivery() -> bool:
+    """Batched delivery is on unless ``REPRO_SIM_UNBATCHED`` is set.
+
+    The environment knob exists so the determinism tests (and bisection of
+    any suspected batching bug) can force the legacy one-event-per-message
+    path without touching experiment specs — the spec identity, and hence
+    every derived cell seed, stays the same in both modes.
+    """
+    return not os.environ.get("REPRO_SIM_UNBATCHED")
 
 
 @dataclass
@@ -50,6 +78,9 @@ class NetworkConfig:
         reorder_extra_latency: Maximum extra delay applied to reordered
             messages (uniform in ``[0, reorder_extra_latency]``).
         header_bytes: Fixed per-message header overhead added to payload size.
+        batch_delivery: Whether nodes that support it receive arrivals through
+            the batched inbox path (see module docstring). Defaults to on,
+            overridable globally with ``REPRO_SIM_UNBATCHED=1``.
     """
 
     base_latency: float = 2e-6
@@ -60,6 +91,7 @@ class NetworkConfig:
     reorder_rate: float = 0.0
     reorder_extra_latency: float = 20e-6
     header_bytes: int = DEFAULT_HEADER_BYTES
+    batch_delivery: bool = field(default_factory=_default_batch_delivery)
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` for invalid settings."""
@@ -117,9 +149,17 @@ class Partition:
         return None
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
-    """Counters describing what the network has done so far."""
+    """Counters describing what the network has done so far.
+
+    Conservation: once the simulation has drained,
+    ``messages_sent + messages_duplicated == messages_delivered +
+    messages_dropped_loss + messages_dropped_partition +
+    messages_dropped_crashed`` (duplicates are extra deliveries that were
+    never counted as sends). While messages are still in flight — or queued
+    behind a destination CPU on the batched path — the delivered count lags.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
@@ -133,9 +173,10 @@ class NetworkStats:
 class Network:
     """The simulated network fabric connecting all nodes.
 
-    Nodes register a receive callback with :meth:`register`; other components
-    (protocol nodes, clients) send messages with :meth:`send` or
-    :meth:`broadcast`.
+    Nodes register a receive callback with :meth:`register`; node processes
+    that support inbox delivery register themselves with
+    :meth:`register_process`. Other components (protocol nodes, clients)
+    send messages with :meth:`send` or :meth:`broadcast`.
     """
 
     def __init__(
@@ -149,22 +190,48 @@ class Network:
         self.config.validate()
         self._rng = rng or random.Random(0)
         self._receivers: Dict[NodeId, ReceiveCallback] = {}
+        #: Destinations receiving through the batched inbox path. Values are
+        #: ``NodeProcess``-like objects exposing ``_push_arrival``.
+        self._inbox_procs: Dict[NodeId, Any] = {}
         self._crashed: Set[NodeId] = set()
         self._partition: Optional[Partition] = None
         self.stats = NetworkStats()
+        # Bulk-prefetched raw uniform draws; every probabilistic decision
+        # (jitter, loss, duplication, reordering) consumes from this buffer
+        # in send order, so the stream is identical to calling
+        # ``self._rng.random()`` once per decision.
+        self._rand_buf: List[float] = []
+        self._rand_idx = 0
 
     # ---------------------------------------------------------- registration
     def register(self, node_id: NodeId, receiver: ReceiveCallback) -> None:
         """Register the receive callback for ``node_id``.
 
         Re-registering replaces the previous callback (used when a node
-        restarts after a crash).
+        restarts after a crash). Registering a plain callback removes any
+        batched-inbox registration for the node.
         """
         self._receivers[node_id] = receiver
+        self._inbox_procs.pop(node_id, None)
+
+    def register_process(self, process: Any) -> None:
+        """Register a node process for batched inbox delivery.
+
+        ``process`` must expose ``node_id``, ``deliver`` (the legacy
+        callback, kept as a fallback) and ``_push_arrival``. When
+        ``config.batch_delivery`` is off the process is registered as a
+        plain callback receiver instead.
+        """
+        self._receivers[process.node_id] = process.deliver
+        if self.config.batch_delivery:
+            self._inbox_procs[process.node_id] = process
+        else:
+            self._inbox_procs.pop(process.node_id, None)
 
     def unregister(self, node_id: NodeId) -> None:
         """Remove a node from the network entirely."""
         self._receivers.pop(node_id, None)
+        self._inbox_procs.pop(node_id, None)
         self._crashed.discard(node_id)
 
     @property
@@ -194,6 +261,23 @@ class Network:
         """The currently installed partition, if any."""
         return self._partition
 
+    # ---------------------------------------------------------------- random
+    def _refill(self) -> float:
+        """Refill the draw buffer and return the first draw."""
+        rnd = self._rng.random
+        self._rand_buf = [rnd() for _ in range(_RNG_BUFFER_SIZE)]
+        self._rand_idx = 1
+        return self._rand_buf[0]
+
+    def _next_random(self) -> float:
+        """The next raw uniform draw (buffered ``self._rng.random()``)."""
+        idx = self._rand_idx
+        buf = self._rand_buf
+        if idx >= len(buf):
+            return self._refill()
+        self._rand_idx = idx + 1
+        return buf[idx]
+
     # -------------------------------------------------------------- sending
     def send(
         self,
@@ -206,31 +290,57 @@ class Network:
 
         The message is subject to loss, duplication, reordering, partitions
         and crash filtering per the network configuration. Delivery happens
-        by scheduling the destination's receive callback after the computed
-        network latency.
+        either by pushing into the destination's arrival inbox (batched
+        path) or by scheduling the destination's receive callback after the
+        computed network latency (legacy path).
         """
-        if dst not in self._receivers:
+        proc = self._inbox_procs.get(dst)
+        if proc is None and dst not in self._receivers:
             raise SimulationError(f"destination node {dst} is not registered on the network")
         cfg = self.config
         total_bytes = size_bytes + cfg.header_bytes
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += total_bytes
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += total_bytes
 
         if src in self._crashed:
             # A crashed node emits nothing.
-            self.stats.messages_dropped_crashed += 1
+            stats.messages_dropped_crashed += 1
             return
         if self._partition is not None and not self._partition.allows(src, dst):
-            self.stats.messages_dropped_partition += 1
+            stats.messages_dropped_partition += 1
             return
-        if cfg.loss_rate > 0.0 and self._rng.random() < cfg.loss_rate:
-            self.stats.messages_dropped_loss += 1
+        if cfg.loss_rate > 0.0 and self._next_random() < cfg.loss_rate:
+            stats.messages_dropped_loss += 1
             return
 
-        self._schedule_delivery(src, dst, message, total_bytes)
-        if cfg.duplicate_rate > 0.0 and self._rng.random() < cfg.duplicate_rate:
-            self.stats.messages_duplicated += 1
-            self._schedule_delivery(src, dst, message, total_bytes)
+        # Inlined _sample_latency + delivery dispatch (once per message on
+        # the hot path; the helpers keep the canonical spelling).
+        latency = cfg.base_latency
+        jitter = cfg.jitter
+        if jitter > 0.0:
+            idx = self._rand_idx
+            buf = self._rand_buf
+            if idx >= len(buf):
+                draw = self._refill()
+            else:
+                self._rand_idx = idx + 1
+                draw = buf[idx]
+            latency *= 1.0 + (-jitter + (jitter - -jitter) * draw)
+        latency += total_bytes * cfg.per_byte_latency
+        if cfg.reorder_rate > 0.0 and self._next_random() < cfg.reorder_rate:
+            latency += cfg.reorder_extra_latency * self._next_random()
+        if proc is not None:
+            sim = self.sim
+            seq = sim._seq
+            sim._seq = seq + 1
+            proc._push_arrival(sim._now + latency, seq, src, message, total_bytes)
+        else:
+            self.sim.schedule(latency, self._deliver, src, dst, message, total_bytes)
+
+        if cfg.duplicate_rate > 0.0 and self._next_random() < cfg.duplicate_rate:
+            stats.messages_duplicated += 1
+            self._schedule_delivery(proc, src, dst, message, total_bytes)
 
     def broadcast(
         self,
@@ -244,24 +354,103 @@ class Network:
         Matches the Wings software broadcast primitive: a series of unicasts
         sharing one payload (paper §4.2).
         """
+        self.send_multi(src, [d for d in destinations if d != src], message, size_bytes)
+
+    def send_multi(
+        self,
+        src: NodeId,
+        destinations: Iterable[NodeId],
+        message: Any,
+        size_bytes: int = 0,
+    ) -> None:
+        """Send one payload to several destinations (hot broadcast path).
+
+        Behaviourally identical to calling :meth:`send` once per destination
+        in order — same per-destination loss/jitter/duplication draws from
+        the shared stream — but the configuration, stats and fault lookups
+        are hoisted out of the loop. ``src`` itself is not filtered here.
+        """
+        cfg = self.config
+        stats = self.stats
+        partition = self._partition
+        crashed_src = src in self._crashed
+        total_bytes = size_bytes + cfg.header_bytes
+        loss_rate = cfg.loss_rate
+        duplicate_rate = cfg.duplicate_rate
+        reorder_rate = cfg.reorder_rate
+        jitter = cfg.jitter
+        base = cfg.base_latency + total_bytes * cfg.per_byte_latency
+        now = self.sim._now
+        inbox_get = self._inbox_procs.get
         for dst in destinations:
-            if dst == src:
+            proc = inbox_get(dst)
+            if proc is None and dst not in self._receivers:
+                raise SimulationError(
+                    f"destination node {dst} is not registered on the network"
+                )
+            stats.messages_sent += 1
+            stats.bytes_sent += total_bytes
+            if crashed_src:
+                stats.messages_dropped_crashed += 1
                 continue
-            self.send(src, dst, message, size_bytes)
+            if partition is not None and not partition.allows(src, dst):
+                stats.messages_dropped_partition += 1
+                continue
+            if loss_rate > 0.0 and self._next_random() < loss_rate:
+                stats.messages_dropped_loss += 1
+                continue
+            if jitter > 0.0:
+                idx = self._rand_idx
+                buf = self._rand_buf
+                if idx >= len(buf):
+                    draw = self._refill()
+                else:
+                    self._rand_idx = idx + 1
+                    draw = buf[idx]
+                latency = (
+                    cfg.base_latency * (1.0 + (-jitter + (jitter - -jitter) * draw))
+                    + total_bytes * cfg.per_byte_latency
+                )
+            else:
+                latency = base
+            if reorder_rate > 0.0 and self._next_random() < reorder_rate:
+                latency += cfg.reorder_extra_latency * self._next_random()
+            if proc is not None:
+                sim = self.sim
+                seq = sim._seq
+                sim._seq = seq + 1
+                proc._push_arrival(now + latency, seq, src, message, total_bytes)
+            else:
+                self.sim.schedule(latency, self._deliver, src, dst, message, total_bytes)
+            if duplicate_rate > 0.0 and self._next_random() < duplicate_rate:
+                stats.messages_duplicated += 1
+                self._schedule_delivery(proc, src, dst, message, total_bytes)
 
     # -------------------------------------------------------------- internal
-    def _schedule_delivery(self, src: NodeId, dst: NodeId, message: Any, total_bytes: int) -> None:
+    def _schedule_delivery(
+        self, proc: Any, src: NodeId, dst: NodeId, message: Any, total_bytes: int
+    ) -> None:
         latency = self._sample_latency(total_bytes)
-        self.sim.schedule(latency, self._deliver, src, dst, message, total_bytes)
+        if proc is not None:
+            sim = self.sim
+            seq = sim._seq
+            sim._seq = seq + 1
+            proc._push_arrival(sim._now + latency, seq, src, message, total_bytes)
+        else:
+            self.sim.schedule(latency, self._deliver, src, dst, message, total_bytes)
 
     def _sample_latency(self, total_bytes: int) -> float:
         cfg = self.config
         latency = cfg.base_latency
-        if cfg.jitter > 0.0:
-            latency *= 1.0 + self._rng.uniform(-cfg.jitter, cfg.jitter)
+        jitter = cfg.jitter
+        if jitter > 0.0:
+            # Inlined random.Random.uniform(-j, j) over a buffered draw:
+            # a + (b - a) * random() with a = -j, b = j, bit-identical to
+            # the unbuffered call.
+            latency *= 1.0 + (-jitter + (jitter - -jitter) * self._next_random())
         latency += total_bytes * cfg.per_byte_latency
-        if cfg.reorder_rate > 0.0 and self._rng.random() < cfg.reorder_rate:
-            latency += self._rng.uniform(0.0, cfg.reorder_extra_latency)
+        if cfg.reorder_rate > 0.0 and self._next_random() < cfg.reorder_rate:
+            latency += cfg.reorder_extra_latency * self._next_random()
         return latency
 
     def _deliver(self, src: NodeId, dst: NodeId, message: Any, total_bytes: int) -> None:

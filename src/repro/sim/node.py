@@ -11,18 +11,71 @@ Multi-threaded worker models (the paper uses ~20 worker threads per machine)
 are approximated by dividing per-message service time by ``worker_threads``,
 i.e. an M/G/1 approximation of an M/G/k server. This preserves relative
 protocol behaviour, which is the reproduction target.
+
+Batched delivery
+----------------
+
+Two delivery implementations coexist (selected by
+``NetworkConfig.batch_delivery``, see :mod:`repro.sim.network`):
+
+* **Legacy**: the network schedules one simulator event per message at its
+  arrival time; the arrival handler computes the handler's *finish* time
+  ``finish = max(arrival, cpu_free_at) + service`` eagerly and schedules a
+  second event to run the handler — two simulator events per message.
+
+* **Batched** (default): the network pushes ``(arrival, seq, ...)`` entries
+  straight into the node's **inbox** (a per-node heap ordered by arrival)
+  at *send* time, and the node keeps exactly **one** outstanding simulator
+  event — for the finish time of the earliest-arriving entry. When it fires,
+  the handler runs and the next entry's finish event is chained. One
+  simulator event per message, and the global heap stays small.
+
+The batched path computes the identical finish-time recurrence, just
+lazily. Two subtleties keep it byte-identical to the legacy path:
+
+1. *CPU charges.* ``charge_send``/``charge_cpu`` during a handler at time
+   ``T`` must delay only work **arriving after** ``T`` (the legacy path
+   mutates ``cpu_free_at`` at ``T``, after earlier arrivals already
+   captured their finish times). The batched path therefore records
+   charges as ``(T, cost)`` pairs and folds a charge into the CPU timeline
+   only when computing the finish of the first entry whose arrival is at
+   or after ``T`` — the same interleaving the legacy event order produces.
+
+2. *Arrival order.* Inbox entries are ordered by ``(arrival, seq)`` with a
+   per-node monotone ``seq``, matching the engine's insertion-order tie
+   break for same-time arrival events on the legacy path.
+
+Equal-time ties *across* nodes (possible only with zero network jitter) may
+execute in a different relative order than legacy; all benchmark
+configurations use jittered latencies, where such ties do not occur — the
+determinism suite asserts byte-identical artifacts between both paths.
+
+Crash semantics (both paths): a crash discards all queued work and all
+outstanding timers permanently — recovering does not resurrect work or
+timers from before the crash. Messages still in flight at the crash are
+delivered (and dropped) at their arrival times while the node stays down,
+and are processed normally if the node has recovered by then.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Deque, Optional, Tuple
+from heapq import heapify, heappop, heappush
+from typing import Any, Callable, Deque, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.network import Network
 from repro.types import NodeId
+
+#: Inbox-entry slot indices: ``[arrival, seq, service, is_network, handler, args]``.
+#: ``is_network`` marks entries whose processing counts toward the network's
+#: ``messages_delivered`` statistic (the legacy path counts at arrival).
+_ARRIVAL, _SEQ, _SERVICE, _IS_NET, _HANDLER, _HARGS = range(6)
+
+#: Prune the fired-timer tracking set once it exceeds this size.
+_TIMER_PRUNE_THRESHOLD = 256
 
 
 @dataclass
@@ -92,9 +145,37 @@ class NodeProcess:
         self.service_model.validate()
         self._cpu_free_at: float = 0.0
         self._crashed = False
-        self._queue_depth = 0
         self.messages_processed = 0
-        network.register(node_id, self.deliver)
+        # Flattened service-model constants for the hot paths (the model is
+        # validated at construction and never mutated afterwards).
+        model = self.service_model
+        self._sm_base = model.base
+        self._sm_per_byte = model.per_byte
+        self._sm_send_overhead = model.send_overhead
+        self._sm_workers = model.worker_threads
+        # Batched-path state (see module docstring).
+        self._batched: bool = bool(network.config.batch_delivery)
+        self._inbox: List[list] = []
+        # The outstanding head event is identified by a version token: any
+        # event carrying a stale version is ignored when it fires, which
+        # makes "cancel + reschedule" a counter bump plus one bare push.
+        self._head_version = 0
+        self._head_scheduled = False
+        self._drop_event: Optional[EventHandle] = None
+        self._processing = False
+        self._pending_charges: Deque[Tuple[float, float]] = deque()
+        # Legacy-path state: entries scheduled before the current crash epoch
+        # are discarded when their event fires.
+        self._queue_depth = 0
+        self._queue_epoch = 0
+        # Outstanding timers, cancelled wholesale on crash; pruned of fired
+        # handles once they outnumber the adaptive watermark.
+        self._timers: Set[EventHandle] = set()
+        self._timer_prune_at = _TIMER_PRUNE_THRESHOLD
+        # Hot-path method bind (the network is fixed for the node's
+        # lifetime): saves two attribute lookups per message.
+        self._network_send = network.send
+        network.register_process(self)
 
     # ------------------------------------------------------------ properties
     @property
@@ -104,54 +185,173 @@ class NodeProcess:
 
     @property
     def queue_depth(self) -> int:
-        """Number of messages/work items awaiting or under processing."""
+        """Number of messages/work items awaiting processing.
+
+        On the batched path this includes messages still in flight on the
+        network (they sit in the inbox from send time); on the legacy path
+        only messages that have arrived are counted.
+        """
+        if self._batched:
+            return len(self._inbox)
         return self._queue_depth
 
     # --------------------------------------------------------------- faults
     def crash(self) -> None:
-        """Crash the node: stop processing and drop all queued work."""
+        """Crash the node: stop processing, drop queued work and timers.
+
+        Queued work and armed timers are discarded permanently — they do
+        not fire after :meth:`recover`. Messages in flight on the network
+        are dropped at their arrival times for as long as the node stays
+        crashed.
+        """
         self._crashed = True
         self.network.crash(self.node_id)
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
+        self._timer_prune_at = _TIMER_PRUNE_THRESHOLD
+        if self._batched:
+            self._head_version += 1
+            self._head_scheduled = False
+            self._pending_charges.clear()
+            if self._inbox:
+                now = self.sim.now
+                kept: List[list] = []
+                delivered = 0
+                for entry in self._inbox:
+                    if entry[_ARRIVAL] <= now:
+                        # Arrived while the node was up: the legacy path
+                        # counted these delivered at arrival; the queued
+                        # work itself is lost to the crash.
+                        delivered += entry[_IS_NET]
+                    else:
+                        kept.append(entry)
+                if delivered:
+                    self.network.stats.messages_delivered += delivered
+                heapify(kept)
+                self._inbox = kept
+                self._ensure_drop_chain()
+        else:
+            self._queue_epoch += 1
 
     def recover(self) -> None:
         """Clear the crashed flag (protocol-level recovery is separate)."""
         self._crashed = False
         self.network.recover(self.node_id)
         self._cpu_free_at = self.sim.now
+        if self._batched:
+            self._pending_charges.clear()
+            if self._drop_event is not None:
+                self._drop_event.cancel()
+                self._drop_event = None
+            if self._inbox and not self._processing and not self._head_scheduled:
+                self._schedule_head()
 
     # ------------------------------------------------------------- messaging
     def deliver(self, src: NodeId, message: Any, size_bytes: int) -> None:
-        """Network receive callback: queue the message for CPU processing."""
+        """Network receive callback: queue the message for CPU processing.
+
+        Used on the legacy delivery path (the batched path pushes arrivals
+        directly via :meth:`_push_arrival`). ``messages_delivered`` was
+        already counted by the caller, hence ``is_network=0`` below.
+        """
         if self._crashed:
             return
-        self._enqueue(size_bytes, 1.0, self.on_message, src, message)
+        if self._batched:
+            service = self.service_model.cost(size_bytes, 1.0)
+            self._push_entry(
+                [self.sim.now, self._alloc_seq(), service, 0, self.on_message, (src, message)]
+            )
+        else:
+            self._enqueue(size_bytes, 1.0, self.on_message, src, message)
 
     def submit_local(self, work: Any, size_bytes: int = 0, weight: float = 1.0) -> None:
         """Submit a local work item (e.g. a client request) to this node."""
         if self._crashed:
             return
-        self._enqueue(size_bytes, weight, self.on_local_work, work)
+        if self._batched:
+            service = self.service_model.cost(size_bytes, weight)
+            self._push_entry(
+                [self.sim.now, self._alloc_seq(), service, 0, self.on_local_work, (work,)]
+            )
+        else:
+            self._enqueue(size_bytes, weight, self.on_local_work, work)
+
+    def submit_local_at(
+        self, time: float, work: Any, size_bytes: int = 0, weight: float = 1.0
+    ) -> None:
+        """Submit a local work item that reaches this node at a future time.
+
+        Equivalent to scheduling ``submit_local`` at ``time`` but, on the
+        batched path, without spending a simulator event on the hand-off:
+        the item enters the arrival inbox directly (clients use this for
+        the request half of their RPC latency). If the node crashes before
+        ``time``, the item is discarded — exactly as a scheduled
+        ``submit_local`` would be by its crashed-node check.
+        """
+        if self._crashed:
+            return
+        if self._batched:
+            service = self.service_model.cost(size_bytes, weight)
+            self._push_entry([time, self._alloc_seq(), service, 0, self.on_local_work, (work,)])
+        else:
+            self.sim.schedule_at(time, self.submit_local, work, size_bytes, weight)
 
     def send(self, dst: NodeId, message: Any, size_bytes: int = 0) -> None:
         """Send a message to another node, charging send CPU (no-op when crashed)."""
         if self._crashed:
             return
-        self.charge_send(size_bytes)
-        self.network.send(self.node_id, dst, message, size_bytes)
+        # Inlined charge_send (this runs once per message on the hot path);
+        # arithmetic matches ServiceTimeModel.send_cost exactly.
+        cost = (self._sm_send_overhead + size_bytes * self._sm_per_byte * 0.5) / self._sm_workers
+        now = self.sim._now
+        if self._batched:
+            self._pending_charges.append((now, cost))
+            if self._head_scheduled and not self._processing:
+                if self._inbox[0][_ARRIVAL] >= now:
+                    self._schedule_head()
+        else:
+            self._cpu_free_at = max(now, self._cpu_free_at) + cost
+        self._network_send(self.node_id, dst, message, size_bytes)
 
     def broadcast(self, destinations, message: Any, size_bytes: int = 0) -> None:
-        """Broadcast a message to the given destinations (excluding self)."""
+        """Broadcast a message to the given destinations (excluding self).
+
+        Equivalent to one :meth:`send` per destination — including one send
+        CPU charge each (the fan-out cost, paper §4.2) and per-destination
+        latency draws — with the per-send bookkeeping hoisted.
+        """
         if self._crashed:
             return
-        for dst in destinations:
-            if dst == self.node_id:
-                continue
-            self.send(dst, message, size_bytes)
+        node_id = self.node_id
+        targets = [dst for dst in destinations if dst != node_id]
+        if not targets:
+            return
+        cost = (self._sm_send_overhead + size_bytes * self._sm_per_byte * 0.5) / self._sm_workers
+        now = self.sim._now
+        if self._batched:
+            charges = self._pending_charges
+            for _ in targets:
+                charges.append((now, cost))
+            if self._head_scheduled and not self._processing:
+                if self._inbox[0][_ARRIVAL] >= now:
+                    self._schedule_head()
+        else:
+            free = self._cpu_free_at
+            if free < now:
+                free = now
+            for _ in targets:
+                free += cost
+            self._cpu_free_at = free
+        self.network.send_multi(node_id, targets, message, size_bytes)
 
     def charge_send(self, size_bytes: int = 0) -> None:
         """Account the CPU cost of posting one outgoing message."""
         cost = self.service_model.send_cost(size_bytes)
-        self._cpu_free_at = max(self.sim.now, self._cpu_free_at) + cost
+        if self._batched:
+            self._record_charge(cost)
+        else:
+            self._cpu_free_at = max(self.sim.now, self._cpu_free_at) + cost
 
     def charge_cpu(self, size_bytes: int = 0, weight: float = 1.0) -> None:
         """Account additional CPU work performed inside the current handler.
@@ -162,11 +362,28 @@ class NodeProcess:
         ``weight = worker_threads`` to undo the parallel-workers division.
         """
         cost = self.service_model.cost(size_bytes, weight)
-        self._cpu_free_at = max(self.sim.now, self._cpu_free_at) + cost
+        if self._batched:
+            self._record_charge(cost)
+        else:
+            self._cpu_free_at = max(self.sim.now, self._cpu_free_at) + cost
 
     def set_timer(self, delay: float, callback: Callable[..., None], *args: Any) -> EventHandle:
-        """Schedule a timer on this node; fires unless the node has crashed."""
-        return self.sim.schedule(delay, self._timer_fired, callback, args)
+        """Schedule a timer on this node; cancelled if the node crashes.
+
+        Timers armed before a crash never fire, even after :meth:`recover`
+        — a restarted process starts with a clean timer table.
+        """
+        handle = self.sim.schedule(delay, self._timer_fired, callback, args)
+        timers = self._timers
+        timers.add(handle)
+        if len(timers) > self._timer_prune_at:
+            # Drop handles that already fired or were cancelled individually.
+            # The watermark doubles when most tracked timers are genuinely
+            # live, so arming stays amortized O(1) even with thousands of
+            # concurrently armed timers.
+            self._timers = {h for h in timers if h.callback is not None}
+            self._timer_prune_at = max(_TIMER_PRUNE_THRESHOLD, 2 * len(self._timers))
+        return handle
 
     # ---------------------------------------------------------------- hooks
     def on_message(self, src: NodeId, message: Any) -> None:
@@ -177,7 +394,169 @@ class NodeProcess:
         """Handle a locally submitted work item. Subclasses may override."""
         raise NotImplementedError
 
-    # ------------------------------------------------------------- internals
+    # ----------------------------------------------------- batched internals
+    def _alloc_seq(self) -> int:
+        """Allocate an inbox-entry sequence number from the ENGINE counter.
+
+        The entry's seq doubles as the tie-break slot of its finish event,
+        so it must order same-timestamp events exactly like the legacy
+        path: allocating from the simulator's own counter at the moment
+        the arrival is created (send time for network messages, submit
+        time for local work) mirrors the seq the legacy delivery/submit
+        event would have received, making cross-node ties resolve in
+        arrival order on both paths.
+        """
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
+        return seq
+
+    def _push_arrival(self, arrival: float, seq: int, src: NodeId, message: Any, total_bytes: int) -> None:
+        """Network entry point on the batched path (called at send time).
+
+        Inlined spelling of :meth:`_push_entry` — this runs once per network
+        message; ``seq`` is the engine sequence number the network allocated
+        for this delivery (see :meth:`_alloc_seq`). Service arithmetic
+        matches ``ServiceTimeModel.cost`` with ``weight=1.0`` exactly.
+        """
+        service = (self._sm_base + total_bytes * self._sm_per_byte) / self._sm_workers
+        entry = [arrival, seq, service, 1, self.on_message, (src, message)]
+        inbox = self._inbox
+        heappush(inbox, entry)
+        if self._crashed:
+            self._ensure_drop_chain()
+        elif not self._processing:
+            if not self._head_scheduled:
+                self._schedule_head()
+            elif inbox[0] is entry:
+                # The new entry arrives before the one the outstanding event
+                # was computed for: recompute the head finish time (the old
+                # event's version token goes stale).
+                self._schedule_head()
+
+    def _push_entry(self, entry: list) -> None:
+        heappush(self._inbox, entry)
+        if self._crashed:
+            self._ensure_drop_chain()
+        elif not self._processing:
+            if not self._head_scheduled or self._inbox[0] is entry:
+                self._schedule_head()
+
+    def _record_charge(self, cost: float) -> None:
+        now = self.sim.now
+        self._pending_charges.append((now, cost))
+        if self._head_scheduled and not self._processing:
+            if self._inbox[0][_ARRIVAL] >= now:
+                # The charge happened before the scheduled head even arrives,
+                # so it delays that head: recompute its finish time.
+                self._schedule_head()
+
+    def _schedule_head(self) -> None:
+        """(Re)schedule the finish event for the earliest-arriving entry.
+
+        The finish time folds in pending charges up to the entry's arrival
+        without consuming them — preemption by an earlier arrival may
+        recompute a different entry's finish later. Bumping the version
+        token implicitly cancels any previously scheduled head event.
+        """
+        entry = self._inbox[0]
+        arrival = entry[_ARRIVAL]
+        free = self._cpu_free_at
+        charges = self._pending_charges
+        if charges:
+            for charge_time, cost in charges:
+                if charge_time > arrival:
+                    break
+                if free < charge_time:
+                    free = charge_time
+                free += cost
+        start = arrival if arrival > free else free
+        version = self._head_version + 1
+        self._head_version = version
+        self._head_scheduled = True
+        # The finish event reuses the entry's send/submit-time seq as its
+        # tie-break, so same-instant finishes across nodes execute in
+        # arrival order — matching the legacy path's event interleaving.
+        # Reschedules reuse it too: the stale copy always has a strictly
+        # earlier finish time, so no two heap entries ever compare equal.
+        heappush(
+            self.sim._heap,
+            [start + entry[_SERVICE], entry[_SEQ], self._process_head, (version,), False],
+        )
+
+    def _process_head(self, version: int) -> None:
+        if version != self._head_version:
+            # Stale event: superseded by a preemption, a charge-triggered
+            # reschedule, or a crash.
+            return
+        self._head_scheduled = False
+        entry = heappop(self._inbox)
+        arrival = entry[_ARRIVAL]
+        # Commit the lazily evaluated CPU timeline: charges at or before
+        # this arrival are absorbed into the finish time (== now).
+        charges = self._pending_charges
+        if charges:
+            while charges and charges[0][0] <= arrival:
+                charges.popleft()
+        self._cpu_free_at = self.sim._now
+        if entry[_IS_NET]:
+            self.network.stats.messages_delivered += 1
+        self.messages_processed += 1
+        self._processing = True
+        try:
+            entry[_HANDLER](*entry[_HARGS])
+        finally:
+            self._processing = False
+            inbox = self._inbox
+            if inbox and not self._crashed and not self._head_scheduled:
+                # Inlined _schedule_head (one call per processed message).
+                entry = inbox[0]
+                arrival = entry[_ARRIVAL]
+                free = self._cpu_free_at
+                if charges:
+                    for charge_time, cost in charges:
+                        if charge_time > arrival:
+                            break
+                        if free < charge_time:
+                            free = charge_time
+                        free += cost
+                start = arrival if arrival > free else free
+                version = self._head_version + 1
+                self._head_version = version
+                self._head_scheduled = True
+                heappush(
+                    self.sim._heap,
+                    [start + entry[_SERVICE], entry[_SEQ], self._process_head, (version,), False],
+                )
+
+    def _ensure_drop_chain(self) -> None:
+        """While crashed, drop in-flight arrivals at their arrival times."""
+        if self._drop_event is not None:
+            if self._inbox and self._inbox[0][_ARRIVAL] < self._drop_event.time:
+                self._drop_event.cancel()
+            else:
+                return
+        if not self._inbox:
+            self._drop_event = None
+            return
+        self._drop_event = self.sim.schedule_at(self._inbox[0][_ARRIVAL], self._drop_head)
+
+    def _drop_head(self) -> None:
+        self._drop_event = None
+        if not self._crashed:
+            # Recovered at exactly this timestamp: recover() already
+            # rescheduled normal processing.
+            return
+        now = self.sim.now
+        dropped = 0
+        while self._inbox and self._inbox[0][_ARRIVAL] <= now:
+            dropped += heappop(self._inbox)[_IS_NET]
+        if dropped:
+            self.network.stats.messages_dropped_crashed += dropped
+        if self._inbox:
+            self._drop_event = self.sim.schedule_at(self._inbox[0][_ARRIVAL], self._drop_head)
+
+    # ------------------------------------------------------ legacy internals
     def _enqueue(
         self,
         size_bytes: int,
@@ -190,11 +569,11 @@ class NodeProcess:
         finish = start + service
         self._cpu_free_at = finish
         self._queue_depth += 1
-        self.sim.schedule_at(finish, self._process, handler, args)
+        self.sim.schedule_at(finish, self._process, self._queue_epoch, handler, args)
 
-    def _process(self, handler: Callable[..., None], args: Tuple[Any, ...]) -> None:
+    def _process(self, epoch: int, handler: Callable[..., None], args: Tuple[Any, ...]) -> None:
         self._queue_depth -= 1
-        if self._crashed:
+        if self._crashed or epoch != self._queue_epoch:
             return
         self.messages_processed += 1
         handler(*args)

@@ -106,7 +106,7 @@ class Operation:
         return cls(OpType.RMW, key, value=value, compare=compare, client_id=client_id)
 
 
-@dataclass
+@dataclass(slots=True)
 class OperationResult:
     """Outcome of a completed client operation.
 

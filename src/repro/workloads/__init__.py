@@ -10,6 +10,8 @@ values (32 B by default, up to 1 KB for the Derecho comparison).
   value sizes) producing :class:`~repro.types.Operation` streams.
 * :mod:`repro.workloads.ycsb` — the standard YCSB core workload presets
   expressed as mixes.
+* :mod:`repro.workloads.presets` — the benchmark grid's named mixes,
+  including the RMW-heavy scenarios.
 """
 
 from repro.workloads.distributions import (
@@ -18,14 +20,26 @@ from repro.workloads.distributions import (
     ZipfianKeys,
 )
 from repro.workloads.generator import ValueFactory, WorkloadMix
+from repro.workloads.presets import (
+    WORKLOAD_PRESETS,
+    WorkloadPreset,
+    get_preset,
+    preset_spec_kwargs,
+    preset_workload,
+)
 from repro.workloads.ycsb import YCSB_PRESETS, ycsb_workload
 
 __all__ = [
     "KeyDistribution",
     "UniformKeys",
     "ValueFactory",
+    "WORKLOAD_PRESETS",
     "WorkloadMix",
+    "WorkloadPreset",
     "YCSB_PRESETS",
     "ZipfianKeys",
+    "get_preset",
+    "preset_spec_kwargs",
+    "preset_workload",
     "ycsb_workload",
 ]

@@ -90,7 +90,9 @@ class WorkloadMix:
         rng = self._rng_for(client_id)
         key = self.distribution.sample(rng)
         if rng.random() >= self.write_ratio:
-            return Operation.read(key, client_id=client_id)
+            # Direct construction (not Operation.read): one operation is
+            # generated per client request, so the classmethod hop counts.
+            return Operation(OpType.READ, key, client_id=client_id)
         sequence = self._client_sequences.get(client_id, 0) + 1
         self._client_sequences[client_id] = sequence
         assert self.value_factory is not None

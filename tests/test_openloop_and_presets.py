@@ -1,0 +1,243 @@
+"""Tests for the open-loop grid axis, workload presets and baseline diffing."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench import runner
+from repro.bench.harness import ExperimentSpec, Scale, run_experiment
+from repro.bench.runner import (
+    DEFAULT_DIFF_TOLERANCES,
+    diff_against_baseline,
+    diff_payloads,
+    parse_tolerance_overrides,
+    run_figure,
+)
+from repro.errors import BenchmarkError, WorkloadError
+from repro.types import OpType
+from repro.workloads import (
+    WORKLOAD_PRESETS,
+    get_preset,
+    preset_spec_kwargs,
+    preset_workload,
+)
+
+
+# ----------------------------------------------------------- open loop
+def _open_spec(**overrides) -> ExperimentSpec:
+    base = dict(
+        protocol="hermes",
+        num_replicas=3,
+        write_ratio=0.1,
+        num_keys=100,
+        clients_per_replica=2,
+        ops_per_client=30,
+        client_model="open",
+        offered_load=1.0e6,
+        seed=3,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+def test_open_loop_runs_and_completes_every_operation():
+    result = run_experiment(_open_spec())
+    assert len(result.results) == 3 * 2 * 30
+    assert result.throughput > 0
+    assert result.duration > 0
+
+
+def test_open_loop_is_deterministic_for_a_seed():
+    a = run_experiment(_open_spec())
+    b = run_experiment(_open_spec())
+    assert [r.end_time for r in a.results] == [r.end_time for r in b.results]
+    assert a.throughput == b.throughput
+
+
+def test_open_loop_delivers_roughly_the_offered_load_below_saturation():
+    result = run_experiment(_open_spec(offered_load=0.5e6, ops_per_client=120))
+    # Poisson noise on a finite run is large; just pin the right ballpark.
+    assert 0.5 * 0.5e6 < result.throughput < 2.0 * 0.5e6
+
+
+def test_open_loop_requires_offered_load():
+    with pytest.raises(BenchmarkError):
+        run_experiment(_open_spec(offered_load=None))
+
+
+def test_unknown_client_model_rejected():
+    with pytest.raises(BenchmarkError):
+        run_experiment(_open_spec(client_model="half-open"))
+
+
+def test_open_loop_latency_grows_past_saturation():
+    low = run_experiment(_open_spec(offered_load=0.2e6, ops_per_client=60))
+    high = run_experiment(_open_spec(offered_load=50.0e6, ops_per_client=60))
+    assert high.overall_latency.p99_us > low.overall_latency.p99_us
+
+
+# ------------------------------------------------------------- presets
+def test_rmw_heavy_preset_composition():
+    preset = get_preset("rmw-heavy")
+    assert preset.write_ratio == 0.5
+    assert preset.rmw_ratio == 1.0
+    assert preset.zipfian_exponent is None
+
+
+def test_preset_workload_generates_rmws():
+    workload = preset_workload("rmw-heavy", num_keys=50, seed=2)
+    ops = [workload.next_operation(0) for _ in range(200)]
+    kinds = {op.op_type for op in ops}
+    assert OpType.RMW in kinds
+    assert OpType.READ in kinds
+    assert OpType.WRITE not in kinds  # every update in this mix is an RMW
+
+
+def test_preset_spec_kwargs_round_trip():
+    spec = ExperimentSpec(**{"protocol": "hermes", **preset_spec_kwargs("skewed-rmw-heavy")})
+    assert spec.write_ratio == 0.5
+    assert spec.rmw_ratio == 1.0
+    assert spec.zipfian_exponent == 0.99
+
+
+def test_unknown_preset_raises():
+    with pytest.raises(WorkloadError):
+        get_preset("banana")
+
+
+def test_all_presets_buildable():
+    for name in WORKLOAD_PRESETS:
+        assert preset_workload(name, num_keys=10) is not None
+
+
+# ------------------------------------------------------- baseline diffs
+def test_diff_payloads_passes_identical_trees():
+    tree = {"data": {"a": 1.0, "b": [1, 2, 3]}, "figure": "x"}
+    entries = diff_payloads("f", tree, json.loads(json.dumps(tree)))
+    assert entries and all(e.ok for e in entries)
+
+
+def test_diff_payloads_flags_drift_beyond_tolerance():
+    base = {"data": {"throughput": 100.0}}
+    fresh = {"data": {"throughput": 50.0}}
+    entries = diff_payloads("f", base, fresh)
+    assert len(entries) == 1 and not entries[0].ok
+    assert entries[0].drift == pytest.approx(0.5)
+
+
+def test_diff_payloads_accepts_drift_within_tolerance():
+    base = {"data": {"throughput": 100.0}}
+    fresh = {"data": {"throughput": 95.0}}
+    entries = diff_payloads("f", base, fresh)
+    assert entries[0].ok
+
+
+def test_diff_payloads_skips_rows_and_notes():
+    base = {"rows": [["1"]], "notes": "a", "data": {}}
+    fresh = {"rows": [["2"]], "notes": "b", "data": {}}
+    assert diff_payloads("f", base, fresh) == []
+
+
+def test_diff_payloads_structural_mismatch_fails():
+    entries = diff_payloads("f", {"data": {"a": 1}}, {"data": {"b": 1}})
+    assert entries and not any(e.ok for e in entries)
+
+
+def test_diff_payloads_string_leaves_compared_exactly():
+    entries = diff_payloads("f", {"headers": ["x"]}, {"headers": ["y"]})
+    assert len(entries) == 1 and not entries[0].ok
+
+
+def test_parse_tolerance_overrides_prepend_and_validate():
+    rules = parse_tolerance_overrides(["throughput=0.01"])
+    assert rules[0] == ("throughput", 0.01)
+    assert rules[-len(DEFAULT_DIFF_TOLERANCES):] == DEFAULT_DIFF_TOLERANCES
+    with pytest.raises(BenchmarkError):
+        parse_tolerance_overrides(["nonsense"])
+
+
+def test_diff_against_baseline_round_trip(tmp_path):
+    scale = Scale.smoke()
+    payload = run_figure("table2", scale, output_dir=str(tmp_path), print_tables=False)
+    entries, errors = diff_against_baseline("table2", payload, str(tmp_path))
+    assert not errors
+    assert entries and all(e.ok for e in entries)
+
+
+def test_diff_against_baseline_missing_artifact(tmp_path):
+    entries, errors = diff_against_baseline("table2", {"figure": "table2"}, str(tmp_path))
+    assert not entries
+    assert errors and "no baseline artifact" in errors[0]
+
+
+def test_diff_against_baseline_scale_mismatch(tmp_path):
+    scale = Scale.smoke()
+    payload = run_figure("table2", scale, output_dir=str(tmp_path), print_tables=False)
+    other = dict(payload)
+    other["scale"] = "bench"
+    entries, errors = diff_against_baseline("table2", other, str(tmp_path))
+    assert errors and "scale" in errors[0]
+
+
+def test_runner_cli_diff_baseline_exit_codes(tmp_path):
+    baseline_dir = tmp_path / "base"
+    out_dir = tmp_path / "out"
+    assert (
+        runner.main(
+            [
+                "--figure", "table2", "--scale", "smoke", "--quiet",
+                "--output-dir", str(baseline_dir),
+            ]
+        )
+        == 0
+    )
+    assert (
+        runner.main(
+            [
+                "--figure", "table2", "--scale", "smoke", "--quiet",
+                "--output-dir", str(out_dir),
+                "--diff-baseline", str(baseline_dir),
+            ]
+        )
+        == 0
+    )
+    report = json.loads((out_dir / "BENCH_DIFF.json").read_text())
+    assert report["ok"] is True
+
+    # Perturb the committed baseline: the diff must now fail the build.
+    artifact = baseline_dir / "BENCH_table2.json"
+    content = json.loads(artifact.read_text())
+    content["results"][0]["data"]["hermes"]["name"] = "NotHermes"
+    artifact.write_text(json.dumps(content, indent=2, sort_keys=True))
+    assert (
+        runner.main(
+            [
+                "--figure", "table2", "--scale", "smoke", "--quiet",
+                "--output-dir", str(out_dir),
+                "--diff-baseline", str(baseline_dir),
+            ]
+        )
+        == 1
+    )
+    report = json.loads((out_dir / "BENCH_DIFF.json").read_text())
+    assert report["ok"] is False and report["failures"]
+
+
+def test_committed_smoke_baselines_match_current_code(tmp_path):
+    """The committed smoke baselines must diff clean against fresh runs.
+
+    Uses the cheapest figures (table2 runs no simulations; figure 9 is a
+    single run) so the tier-1 suite stays fast; CI's baseline-diff job
+    covers the full grid.
+    """
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_dir = os.path.join(repo_root, "bench-baselines", "smoke")
+    scale = runner.resolve_scale("smoke")
+    for figure in ("table2", "9"):
+        payload = run_figure(figure, scale, output_dir=str(tmp_path), print_tables=False)
+        entries, errors = diff_against_baseline(figure, payload, baseline_dir)
+        assert not errors
+        assert entries and all(e.ok for e in entries)

@@ -1,0 +1,268 @@
+"""Equivalence and conservation tests for the batched delivery path.
+
+The simulator has two delivery implementations (see :mod:`repro.sim.node`):
+the default batched inbox path (one simulator event per message) and the
+legacy path (one delivery event plus one processing event per message),
+selected by ``NetworkConfig.batch_delivery`` / ``REPRO_SIM_UNBATCHED``.
+These tests pin the core claim of the batching work: **the two paths
+produce byte-identical results** — same completion times, same statistics,
+same figure payloads — batching is a mechanical optimization, not a model
+change.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.harness import ExperimentSpec, run_experiment
+from repro.bench.runner import figure_to_dict
+from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import NodeProcess, ServiceTimeModel
+from repro.workloads.generator import WorkloadMix
+
+
+def _experiment_fingerprint(unbatched: bool, monkeypatch, **spec_kwargs) -> str:
+    """Run one experiment in the requested mode and serialize its results."""
+    if unbatched:
+        monkeypatch.setenv("REPRO_SIM_UNBATCHED", "1")
+    else:
+        monkeypatch.delenv("REPRO_SIM_UNBATCHED", raising=False)
+    spec = ExperimentSpec(**spec_kwargs)
+    result = run_experiment(spec)
+    return json.dumps(
+        {
+            "throughput": result.throughput,
+            "duration": result.duration,
+            "median_us": result.overall_latency.median_us,
+            "p99_us": result.overall_latency.p99_us,
+            "read_p99_us": result.read_latency.p99_us,
+            "write_p99_us": result.write_latency.p99_us,
+            "stats": result.cluster_stats,
+            "ends": [round(r.end_time, 15) for r in result.results],
+        },
+        sort_keys=True,
+    )
+
+
+@pytest.mark.parametrize("protocol", ["hermes", "craq", "zab", "cr", "derecho"])
+def test_batched_and_legacy_paths_are_byte_identical(protocol, monkeypatch):
+    kwargs = dict(
+        protocol=protocol,
+        num_replicas=5,
+        write_ratio=0.2,
+        rmw_ratio=0.1 if protocol == "hermes" else 0.0,
+        num_keys=200,
+        clients_per_replica=3,
+        ops_per_client=40,
+        seed=7,
+    )
+    batched = _experiment_fingerprint(False, monkeypatch, **kwargs)
+    legacy = _experiment_fingerprint(True, monkeypatch, **kwargs)
+    assert batched == legacy
+
+
+def test_batched_and_legacy_match_with_wings_transport(monkeypatch):
+    kwargs = dict(
+        protocol="hermes",
+        write_ratio=0.3,
+        num_keys=100,
+        clients_per_replica=3,
+        ops_per_client=40,
+        use_wings=True,
+        seed=11,
+    )
+    assert _experiment_fingerprint(False, monkeypatch, **kwargs) == _experiment_fingerprint(
+        True, monkeypatch, **kwargs
+    )
+
+
+def test_batched_and_legacy_match_open_loop(monkeypatch):
+    kwargs = dict(
+        protocol="hermes",
+        write_ratio=0.1,
+        num_keys=100,
+        clients_per_replica=3,
+        ops_per_client=40,
+        client_model="open",
+        offered_load=1.0e6,
+        seed=13,
+    )
+    assert _experiment_fingerprint(False, monkeypatch, **kwargs) == _experiment_fingerprint(
+        True, monkeypatch, **kwargs
+    )
+
+
+def test_figure9_failure_identical_across_modes(monkeypatch):
+    """The crash/recovery path (membership, timers, drop chains) matches too."""
+    from repro.bench import experiments
+
+    payloads = []
+    for unbatched in (False, True):
+        if unbatched:
+            monkeypatch.setenv("REPRO_SIM_UNBATCHED", "1")
+        else:
+            monkeypatch.delenv("REPRO_SIM_UNBATCHED", raising=False)
+        result = experiments.figure_9_failure(total_time=0.2)
+        payloads.append(json.dumps(figure_to_dict(result), sort_keys=True, default=str))
+    assert payloads[0] == payloads[1]
+
+
+# ---------------------------------------------------------------- stats
+def _run_lossy_cluster(unbatched: bool, monkeypatch, **net_kwargs):
+    if unbatched:
+        monkeypatch.setenv("REPRO_SIM_UNBATCHED", "1")
+    else:
+        monkeypatch.delenv("REPRO_SIM_UNBATCHED", raising=False)
+    cluster = Cluster(
+        ClusterConfig(
+            protocol="hermes",
+            num_replicas=3,
+            seed=5,
+            network=NetworkConfig(**net_kwargs),
+        )
+    )
+    workload = WorkloadMix.uniform(50, write_ratio=0.5, seed=5)
+    cluster.preload(workload.initial_dataset())
+    from repro.cluster.client import ClosedLoopClient, run_clients
+
+    clients = [
+        ClosedLoopClient(
+            client_id=i, cluster=cluster, workload=workload, max_ops=30, replica_id=i % 3
+        )
+        for i in range(6)
+    ]
+    run_clients(cluster, clients, max_time=30.0)
+    cluster.run()  # drain every in-flight message and timer
+    return cluster
+
+
+@pytest.mark.parametrize("unbatched", [False, True])
+def test_network_stats_conserved_under_loss_and_duplication(unbatched, monkeypatch):
+    cluster = _run_lossy_cluster(
+        unbatched, monkeypatch, loss_rate=0.05, duplicate_rate=0.05, reorder_rate=0.05
+    )
+    stats = cluster.network.stats
+    assert stats.messages_dropped_loss > 0
+    assert stats.messages_duplicated > 0
+    assert (
+        stats.messages_sent + stats.messages_duplicated
+        == stats.messages_delivered
+        + stats.messages_dropped_loss
+        + stats.messages_dropped_partition
+        + stats.messages_dropped_crashed
+    )
+
+
+@pytest.mark.parametrize("unbatched", [False, True])
+def test_network_stats_conserved_across_crash(unbatched, monkeypatch):
+    if unbatched:
+        monkeypatch.setenv("REPRO_SIM_UNBATCHED", "1")
+    else:
+        monkeypatch.delenv("REPRO_SIM_UNBATCHED", raising=False)
+    cluster = Cluster(ClusterConfig(protocol="hermes", num_replicas=3, seed=9))
+    workload = WorkloadMix.uniform(50, write_ratio=1.0, seed=9)
+    cluster.preload(workload.initial_dataset())
+    from repro.cluster.client import ClosedLoopClient
+
+    clients = [
+        ClosedLoopClient(
+            client_id=i, cluster=cluster, workload=workload, max_ops=10**9, replica_id=i % 3
+        )
+        for i in range(3)
+    ]
+    for client in clients:
+        client.start()
+    cluster.crash_at(2, 20e-6)
+    cluster.run(until=200e-6)
+    cluster.crash(0)
+    cluster.crash(1)  # stop the survivors issuing; then drain in-flight traffic
+    cluster.run()
+    stats = cluster.network.stats
+    assert stats.messages_dropped_crashed > 0
+    assert (
+        stats.messages_sent + stats.messages_duplicated
+        == stats.messages_delivered
+        + stats.messages_dropped_loss
+        + stats.messages_dropped_partition
+        + stats.messages_dropped_crashed
+    )
+
+
+# ----------------------------------------------------------- crash model
+class _Recorder(NodeProcess):
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.seen = []
+
+    def on_message(self, src, message):
+        self.seen.append((src, message, self.sim.now))
+
+    def on_local_work(self, work):
+        self.seen.append((None, work, self.sim.now))
+
+
+def _pair(unbatched: bool, monkeypatch):
+    if unbatched:
+        monkeypatch.setenv("REPRO_SIM_UNBATCHED", "1")
+    else:
+        monkeypatch.delenv("REPRO_SIM_UNBATCHED", raising=False)
+    sim = Simulator()
+    network = Network(sim, NetworkConfig(jitter=0.0))
+    service = ServiceTimeModel(base=10e-6, per_byte=0.0, send_overhead=0.0, worker_threads=1)
+    return sim, _Recorder(0, sim, network, service), _Recorder(1, sim, network, service)
+
+
+@pytest.mark.parametrize("unbatched", [False, True])
+def test_timer_armed_before_crash_never_fires_after_recover(unbatched, monkeypatch):
+    sim, a, _ = _pair(unbatched, monkeypatch)
+    fired = []
+    a.set_timer(1e-3, fired.append, "pre-crash")
+    sim.run(until=1e-4)
+    a.crash()
+    a.recover()
+    a.set_timer(2e-3, fired.append, "post-recover")
+    sim.run()
+    assert fired == ["post-recover"]
+
+
+@pytest.mark.parametrize("unbatched", [False, True])
+def test_queued_work_dropped_permanently_by_crash(unbatched, monkeypatch):
+    """Work queued before a crash must not run even if the node recovers
+    before its scheduled processing time (crash discards the queue)."""
+    sim, a, _ = _pair(unbatched, monkeypatch)
+    a.submit_local("doomed")
+    a.crash()
+    a.recover()
+    sim.run()
+    assert a.seen == []
+    a.submit_local("alive")
+    sim.run()
+    assert [w for _, w, _ in a.seen] == ["alive"]
+
+
+@pytest.mark.parametrize("unbatched", [False, True])
+def test_in_flight_message_survives_crash_recover_cycle(unbatched, monkeypatch):
+    """A message still on the wire when the node crashes is delivered
+    normally if the node has recovered by its arrival time."""
+    sim, a, b = _pair(unbatched, monkeypatch)
+    a.send(1, "in-flight", size_bytes=8)  # arrives after ~2us network latency
+    b.crash()
+    b.recover()
+    sim.run()
+    assert [m for _, m, _ in b.seen] == ["in-flight"]
+
+
+@pytest.mark.parametrize("unbatched", [False, True])
+def test_in_flight_message_dropped_while_node_down(unbatched, monkeypatch):
+    sim, a, b = _pair(unbatched, monkeypatch)
+    a.send(1, "lost", size_bytes=8)
+    b.crash()
+    sim.run()
+    assert b.seen == []
+    assert sim.now > 0
+    network_stats = b.network.stats
+    assert network_stats.messages_dropped_crashed == 1
