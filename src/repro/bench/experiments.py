@@ -44,10 +44,21 @@ PAPER_WRITE_RATIOS: Tuple[float, ...] = (0.01, 0.05, 0.20, 0.50, 0.75, 1.00)
 #: The three protocols compared in the main throughput/latency figures.
 MAIN_PROTOCOLS: Tuple[str, ...] = ("hermes", "craq", "zab")
 
-#: Offered loads (operations per simulated second) swept by the open-loop
-#: counterpart of Figures 5/6. At 20% writes the top points exceed the
-#: slower protocols' capacity, so the latency hockey stick is visible.
+#: Legacy fixed offered-load ladder (operations per simulated second) for
+#: the open-loop sweep. The default sweep now auto-calibrates its ladder
+#: from a per-protocol capacity probe (see :func:`figure_open_loop`); this
+#: constant remains for explicitly pinning absolute load points.
 OPEN_LOOP_LOADS: Tuple[float, ...] = (1.0e6, 2.0e6, 4.0e6, 8.0e6)
+
+#: Auto-calibrated ladder rungs as fractions of each protocol's measured
+#: closed-loop capacity: two points below saturation, one at it, one past
+#: it — the hockey stick is guaranteed to sit inside the sweep regardless
+#: of protocol speed or scale preset.
+OPEN_LOOP_LADDER_FRACTIONS: Tuple[float, ...] = (0.5, 1.0, 1.5, 2.0)
+
+#: Auto-calibrated loads are rounded to this granularity (ops/s) so the
+#: ladder stays readable and stable against sub-percent capacity wobble.
+_LADDER_ROUNDING = 10_000.0
 
 #: Workload presets swept by the RMW-mix figure (see repro.workloads.presets).
 RMW_MIX_PRESETS: Tuple[str, ...] = (
@@ -56,6 +67,9 @@ RMW_MIX_PRESETS: Tuple[str, ...] = (
     "rmw-heavy",
     "skewed-rmw-heavy",
 )
+
+#: Shard counts swept by the shard-scaling figure.
+SHARD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
 
 
 @dataclass
@@ -287,10 +301,49 @@ def figure_6c_latency_skew(
 # Figures 5/6: external load is fixed, not completion-driven, so queueing
 # delay appears as soon as a protocol saturates.
 # ---------------------------------------------------------------------------
+def probe_protocol_capacities(
+    protocols: Sequence[str],
+    write_ratio: float,
+    scale: Scale,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+) -> Dict[str, float]:
+    """Measure each protocol's closed-loop capacity at the given mix.
+
+    One saturating closed-loop cell per protocol — the same simulation a
+    Figure 5 grid cell runs — whose steady-state throughput approximates
+    the protocol's service capacity. The probe goes through
+    :func:`run_cells`, so its seeds derive from the cell identities and the
+    figure's root seed: the measured capacities (and hence the calibrated
+    ladder) are fully deterministic for a given ``(scale, seed)``.
+    """
+    cells = [
+        (
+            protocol,
+            ExperimentSpec(
+                protocol=protocol,
+                write_ratio=write_ratio,
+                label="openloop-probe",
+            ).with_scale(scale),
+        )
+        for protocol in protocols
+    ]
+    runs = run_cells(cells, root_seed=seed, jobs=jobs)
+    return {protocol: runs[protocol].throughput for protocol in protocols}
+
+
+def calibrated_ladder(capacity: float) -> List[float]:
+    """Offered-load points derived from a measured protocol capacity."""
+    return [
+        max(_LADDER_ROUNDING, round(capacity * fraction / _LADDER_ROUNDING) * _LADDER_ROUNDING)
+        for fraction in OPEN_LOOP_LADDER_FRACTIONS
+    ]
+
+
 def figure_open_loop(
     scale: Optional[Scale] = None,
     protocols: Sequence[str] = MAIN_PROTOCOLS,
-    offered_loads: Sequence[float] = OPEN_LOOP_LOADS,
+    offered_loads: Optional[Sequence[float]] = None,
     write_ratio: float = 0.20,
     seed: int = 1,
     jobs: Optional[int] = None,
@@ -303,22 +356,55 @@ def figure_open_loop(
     stays flat; past a protocol's capacity the delivered curve plateaus and
     latency grows with the backlog — the classic open-loop hockey stick
     that closed-loop sweeps (Figure 6a) understate.
+
+    By default the ladder is **auto-calibrated per protocol**: a quick
+    closed-loop capacity probe (:func:`probe_protocol_capacities`) measures
+    each protocol's saturation throughput, and the sweep offers 0.5x, 1.0x,
+    1.5x and 2.0x of it — so every protocol's curve shows its own knee,
+    instead of a fixed absolute ladder that under-drives fast protocols and
+    floods slow ones. Pass ``offered_loads`` to pin absolute load points
+    (e.g. the legacy :data:`OPEN_LOOP_LOADS`) for all protocols instead.
     """
     scale = scale or Scale.default()
+    calibrated = offered_loads is None
+    if calibrated:
+        capacities = probe_protocol_capacities(
+            protocols, write_ratio, scale, seed=seed, jobs=jobs
+        )
+        ladders = {p: calibrated_ladder(capacities[p]) for p in protocols}
+    else:
+        capacities = {}
+        ladders = {p: list(offered_loads) for p in protocols}
     result = FigureResult(
         figure="Open-loop sweep (Poisson arrivals, 20% writes, uniform)",
         headers=[
             "protocol",
+            "ladder",
             "offered_ops_s",
             "delivered_ops_s",
             "median_us",
             "p99_us",
         ],
-        notes="offered load split evenly across all sessions; Poisson arrivals",
+        notes=(
+            "offered load split evenly across all sessions; Poisson arrivals; "
+            + (
+                "ladder auto-calibrated per protocol from a closed-loop capacity probe"
+                if calibrated
+                else "fixed offered-load ladder"
+            )
+        ),
     )
+    rungs = {
+        protocol: list(
+            zip(OPEN_LOOP_LADDER_FRACTIONS, ladders[protocol])
+            if calibrated
+            else [(None, load) for load in ladders[protocol]]
+        )
+        for protocol in protocols
+    }
     cells = [
         (
-            (protocol, load),
+            (protocol, index),
             replace(
                 ExperimentSpec(
                     protocol=protocol,
@@ -330,13 +416,16 @@ def figure_open_loop(
             ),
         )
         for protocol in protocols
-        for load in offered_loads
+        for index, (_, load) in enumerate(rungs[protocol])
     ]
     runs = run_cells(cells, root_seed=seed, jobs=jobs)
     for protocol in protocols:
-        for load in offered_loads:
-            run = runs[(protocol, load)]
-            result.data[(protocol, load)] = {
+        if calibrated:
+            result.data[(protocol, "capacity")] = capacities[protocol]
+        for index, (fraction, load) in enumerate(rungs[protocol]):
+            run = runs[(protocol, index)]
+            rung_label = f"{fraction:.1f}x" if fraction is not None else "fixed"
+            result.data[(protocol, rung_label, index)] = {
                 "offered": load,
                 "delivered": run.throughput,
                 "median_us": run.overall_latency.median_us,
@@ -345,6 +434,7 @@ def figure_open_loop(
             result.rows.append(
                 [
                     protocol,
+                    rung_label,
                     f"{load:,.0f}",
                     f"{run.throughput:,.0f}",
                     f"{run.overall_latency.median_us:.1f}",
@@ -421,6 +511,100 @@ def figure_rmw_mix(
                 run.cluster_stats["rmws_aborted"],
             ]
         )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Shard scaling: key-range partitioned protocol groups (HermesKV's
+# multi-threaded partitioning, §6, as a scale-out axis)
+# ---------------------------------------------------------------------------
+def figure_shard_scale(
+    scale: Optional[Scale] = None,
+    protocols: Sequence[str] = MAIN_PROTOCOLS,
+    shard_counts: Sequence[int] = SHARD_COUNTS,
+    write_ratio: float = 0.20,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+) -> FigureResult:
+    """Aggregate throughput as the key space is partitioned into S shards.
+
+    Two execution models are compared at every shard count:
+
+    * **coupled** — all S protocol groups share the same five simulated
+      nodes (one :class:`~repro.cluster.sharding.ShardHost` CPU/NIC budget
+      per node, like HermesKV threads sharing a machine). Throughput gains
+      come only from spreading placed protocol roles — the ZAB leader, the
+      chain head/tail — across nodes, not from extra compute.
+    * **parallel** — each shard owns a dedicated simulation over its key
+      partition and replays its slice of the unsharded request stream; the
+      runner executes the shards in separate worker processes and merges
+      the metrics deterministically. This is the scale-out model: aggregate
+      throughput grows with S.
+
+    ``S = 1`` is the classic unsharded deployment and anchors both columns.
+    """
+    scale = scale or Scale.default()
+    result = FigureResult(
+        figure="Shard scaling (key-range partitioned groups, 20% writes, uniform)",
+        headers=[
+            "protocol",
+            "shards",
+            "coupled_ops_s",
+            "parallel_ops_s",
+            "parallel_speedup",
+        ],
+        notes=(
+            "coupled: shards share node CPU/NIC on one simulated cluster; "
+            "parallel: independent shards merged across worker processes; "
+            "speedup is parallel throughput relative to the same protocol at S=1"
+        ),
+    )
+    cells = []
+    for protocol in protocols:
+        base = ExperimentSpec(
+            protocol=protocol,
+            write_ratio=write_ratio,
+            label="shardscale",
+        ).with_scale(scale)
+        cells.append(((protocol, 1, "base"), base))
+        for shards in shard_counts:
+            if shards == 1:
+                continue
+            cells.append(
+                ((protocol, shards, "coupled"), replace(base, shards=shards))
+            )
+            cells.append(
+                (
+                    (protocol, shards, "parallel"),
+                    replace(base, shards=shards, shard_mode="parallel"),
+                )
+            )
+    runs = run_cells(cells, root_seed=seed, jobs=jobs)
+    for protocol in protocols:
+        base_run = runs[(protocol, 1, "base")]
+        for shards in shard_counts:
+            if shards == 1:
+                coupled = parallel = base_run
+            else:
+                coupled = runs[(protocol, shards, "coupled")]
+                parallel = runs[(protocol, shards, "parallel")]
+            speedup = (
+                parallel.throughput / base_run.throughput if base_run.throughput else 0.0
+            )
+            result.data[(protocol, shards)] = {
+                "coupled": coupled.throughput,
+                "parallel": parallel.throughput,
+                "parallel_speedup": speedup,
+            }
+            result.rows.append(
+                [
+                    protocol,
+                    shards,
+                    f"{coupled.throughput:,.0f}",
+                    f"{parallel.throughput:,.0f}",
+                    f"{speedup:.2f}x",
+                ]
+            )
     return result
 
 

@@ -17,14 +17,16 @@ not.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import random
 
 from repro.analysis.stats import LatencySummary, latency_summary, throughput
 from repro.cluster.client import ClientSession, ClosedLoopClient, OpenLoopClient, run_clients
 from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.sharding import ShardRouter
 from repro.core.config import HermesConfig
 from repro.errors import BenchmarkError
 from repro.protocols.base import ReplicaConfig
@@ -33,7 +35,10 @@ from repro.sim.node import ServiceTimeModel
 from repro.types import OperationResult, OpType
 from repro.verification.history import History
 from repro.workloads.distributions import UniformKeys, ZipfianKeys
-from repro.workloads.generator import WorkloadMix
+from repro.workloads.generator import ScriptedOps, WorkloadMix
+
+#: Valid values of :attr:`ExperimentSpec.shard_mode`.
+SHARD_MODES = ("coupled", "parallel")
 
 
 @dataclass(frozen=True)
@@ -87,6 +92,16 @@ class ExperimentSpec:
         offered_load: Aggregate offered load in operations per simulated
             second, split evenly across all open-loop sessions. Required
             when ``client_model == "open"``; ignored for closed loops.
+        shards: Number of key-range shards (independent protocol groups).
+            ``1`` is the classic unsharded deployment.
+        shard_mode: How shards execute. ``"coupled"`` hosts every shard on
+            the same simulated nodes inside one simulation — shards share
+            node CPU/NIC budgets like HermesKV threads share a machine.
+            ``"parallel"`` runs fully independent shards (each a dedicated
+            simulation over its key partition, replaying its slice of the
+            unsharded request stream) and merges the metrics
+            deterministically; the runner fans the shards out across worker
+            processes.
         seed: Root seed.
         use_wings: Whether replicas use the Wings batching transport.
         worker_threads: Per-node worker threads (Figure 8 pins this to 1).
@@ -108,6 +123,8 @@ class ExperimentSpec:
     ops_per_client: int = 220
     client_model: str = "closed"
     offered_load: Optional[float] = None
+    shards: int = 1
+    shard_mode: str = "coupled"
     seed: int = 1
     use_wings: bool = False
     worker_threads: int = 20
@@ -160,13 +177,19 @@ class ExperimentResult:
 
 
 def build_cluster(spec: ExperimentSpec) -> Cluster:
-    """Construct the cluster described by an experiment spec."""
+    """Construct the cluster described by an experiment spec.
+
+    Coupled shard mode builds the sharded cluster directly; parallel shard
+    mode never reaches this function with ``shards > 1`` (each shard builds
+    its own unsharded cluster, see :func:`run_shard_experiment`).
+    """
     replica_config = ReplicaConfig(value_size=spec.value_size)
     hermes_config = spec.hermes or HermesConfig(replica=replica_config)
     hermes_config.replica = replica_config
     config = ClusterConfig(
         protocol=spec.protocol,
         num_replicas=spec.num_replicas,
+        shards=spec.shards if spec.shard_mode == "coupled" else 1,
         seed=spec.seed,
         replica=replica_config,
         hermes=hermes_config,
@@ -240,19 +263,41 @@ def build_clients(
     return clients
 
 
-def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
-    """Run one experiment end to end and reduce its results."""
-    if spec.ops_per_client < 1 or spec.clients_per_replica < 1:
-        raise BenchmarkError("experiment requires at least one client and one operation")
-    cluster = build_cluster(spec)
-    workload = build_workload(spec)
-    cluster.preload(workload.initial_dataset())
+def _summarize(
+    spec: ExperimentSpec,
+    results: List[OperationResult],
+    duration: float,
+    history: Optional[History],
+    stats: Dict[str, int],
+) -> ExperimentResult:
+    """The one reduction from per-operation records to an ExperimentResult.
 
-    history = History() if spec.record_history else None
-    clients = build_clients(spec, cluster, workload, history)
+    Shared by unsharded runs, per-shard runs and the shard merge, so serial
+    and process-parallel executions summarize identically by construction.
+    """
+    return ExperimentResult(
+        spec=spec,
+        throughput=throughput(results),
+        overall_latency=latency_summary(results),
+        read_latency=latency_summary(results, op_type=OpType.READ),
+        write_latency=latency_summary(
+            [r for r in results if r.op.op_type is not OpType.READ], op_type=None
+        ),
+        duration=duration,
+        results=results,
+        history=history,
+        cluster_stats=stats,
+    )
 
-    duration = run_clients(cluster, clients, max_time=spec.max_sim_time)
 
+def _reduce_run(
+    spec: ExperimentSpec,
+    cluster: Cluster,
+    clients: List[ClientSession],
+    duration: float,
+    history: Optional[History],
+) -> ExperimentResult:
+    """Reduce a finished run's client records into an ExperimentResult."""
     results: List[OperationResult] = []
     for client in clients:
         results.extend(client.results)
@@ -266,17 +311,143 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
         "inv_retransmissions": cluster.total_stat("inv_retransmissions"),
         "messages_sent": cluster.network.stats.messages_sent,
     }
+    return _summarize(spec, results, duration, history, stats)
 
-    return ExperimentResult(
-        spec=spec,
-        throughput=throughput(results),
-        overall_latency=latency_summary(results),
-        read_latency=latency_summary(results, op_type=OpType.READ),
-        write_latency=latency_summary(
-            [r for r in results if r.op.op_type is not OpType.READ], op_type=None
-        ),
-        duration=duration,
-        results=results,
-        history=history,
-        cluster_stats=stats,
+
+def _validate_spec(spec: ExperimentSpec) -> None:
+    if spec.ops_per_client < 1 or spec.clients_per_replica < 1:
+        raise BenchmarkError("experiment requires at least one client and one operation")
+    if spec.shards < 1:
+        raise BenchmarkError("shards must be >= 1")
+    if spec.shard_mode not in SHARD_MODES:
+        raise BenchmarkError(
+            f"unknown shard_mode {spec.shard_mode!r}; options: {SHARD_MODES}"
+        )
+    if spec.shards > 1 and spec.shard_mode == "parallel" and spec.client_model != "closed":
+        raise BenchmarkError(
+            "parallel shard execution supports closed-loop clients only; "
+            "use shard_mode='coupled' for open-loop sharded experiments"
+        )
+
+
+def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
+    """Run one experiment end to end and reduce its results.
+
+    A spec with ``shards > 1`` and ``shard_mode == "parallel"`` runs its
+    shards as independent simulations (serially here; the runner distributes
+    them over worker processes) and merges the metrics — the merged result
+    is identical either way.
+    """
+    _validate_spec(spec)
+    if spec.shards > 1 and spec.shard_mode == "parallel":
+        parts = [run_shard_experiment(spec, shard) for shard in range(spec.shards)]
+        return merge_shard_results(spec, parts)
+    cluster = build_cluster(spec)
+    workload = build_workload(spec)
+    cluster.preload(workload.initial_dataset())
+
+    history = History() if spec.record_history else None
+    clients = build_clients(spec, cluster, workload, history)
+
+    duration = run_clients(cluster, clients, max_time=spec.max_sim_time)
+    return _reduce_run(spec, cluster, clients, duration, history)
+
+
+# ------------------------------------------------------- sharded execution
+def derive_shard_seed(spec: ExperimentSpec, shard: int) -> int:
+    """A stable per-shard seed for process-parallel shard execution.
+
+    Mixes the spec's seed with the shard index through SHA-256 so shard
+    simulations decorrelate (network jitter, clock skew) while remaining
+    reproducible in any process layout.
+    """
+    payload = repr((spec.seed, spec.shards, shard, "shard")).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:4], "big") % (2**31 - 1) + 1
+
+
+def run_shard_experiment(spec: ExperimentSpec, shard: int) -> ExperimentResult:
+    """Run one shard of a parallel-sharded experiment as its own simulation.
+
+    The shard gets a dedicated (unsharded) cluster over its key partition —
+    the scale-out model where every shard owns its resources. Its clients
+    replay exactly the operations of the *unsharded* request stream whose
+    keys the shard owns, so per-shard runs compose: summed over shards, the
+    operation stream is invariant under the shard count.
+    """
+    _validate_spec(spec)
+    router = ShardRouter(spec.shards)
+    base_workload = build_workload(spec)
+    total_sessions = spec.num_replicas * spec.clients_per_replica
+    shard_of = router.shard_of
+    scripts = {
+        client_id: [
+            op
+            for op in base_workload.stream(client_id, spec.ops_per_client)
+            if shard_of(op.key) == shard
+        ]
+        for client_id in range(total_sessions)
+    }
+    shard_seed = derive_shard_seed(spec, shard)
+    sub_spec = replace(spec, seed=shard_seed, shards=1, shard_mode="coupled")
+    cluster = build_cluster(sub_spec)
+    dataset = {
+        key: value
+        for key, value in base_workload.initial_dataset().items()
+        if shard_of(key) == shard
+    }
+    cluster.preload(dataset)
+
+    history = History() if spec.record_history else None
+    scripted = ScriptedOps(scripts, seed=shard_seed)
+    clients: List[ClientSession] = []
+    client_id = 0
+    for node_id in cluster.node_ids:
+        for _ in range(spec.clients_per_replica):
+            clients.append(
+                ClosedLoopClient(
+                    client_id=client_id,
+                    cluster=cluster,
+                    workload=scripted,
+                    max_ops=scripted.ops_for(client_id),
+                    replica_id=node_id,
+                    history=history,
+                )
+            )
+            client_id += 1
+
+    duration = run_clients(cluster, clients, max_time=spec.max_sim_time)
+    return _reduce_run(sub_spec, cluster, clients, duration, history)
+
+
+def merge_shard_results(
+    spec: ExperimentSpec, parts: Sequence[ExperimentResult]
+) -> ExperimentResult:
+    """Deterministically merge per-shard results into one ExperimentResult.
+
+    Shards run concurrently on dedicated resources, so their simulated
+    timelines overlap from time zero: throughput and latency summaries are
+    computed over the union of the per-operation records, the duration is
+    the slowest shard's, and protocol counters sum. The merge depends only
+    on the parts (in shard order), never on which process produced them.
+    """
+    results: List[OperationResult] = []
+    for part in parts:
+        results.extend(part.results)
+    history: Optional[History] = None
+    if spec.record_history:
+        history = History()
+        for part in parts:
+            if part.history is not None:
+                history.absorb(part.history)
+    stats: Dict[str, int] = {}
+    for part in parts:
+        for name, value in part.cluster_stats.items():
+            stats[name] = stats.get(name, 0) + value
+    return _summarize(
+        spec,
+        results,
+        max((part.duration for part in parts), default=0.0),
+        history,
+        stats,
     )

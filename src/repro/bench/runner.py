@@ -70,18 +70,28 @@ def default_jobs() -> int:
 
 
 # ---------------------------------------------------------------- seeding
+#: Spec fields excluded from the cell identity while they hold these default
+#: values. This lets new grid axes (e.g. ``shards``) be added to
+#: :class:`ExperimentSpec` without perturbing the derived seeds — and hence
+#: the committed ``BENCH_*.json`` baselines — of every pre-existing cell.
+_IDENTITY_NEUTRAL_DEFAULTS: Dict[str, Any] = {"shards": 1, "shard_mode": "coupled"}
+
+_MISSING = object()
+
+
 def derive_cell_seed(spec: ExperimentSpec, root_seed: int) -> int:
     """A deterministic per-cell seed from ``(spec, root_seed)``.
 
     The spec's own ``seed`` field is excluded so the derivation is a pure
     function of the cell's identity (protocol, workload, sizes, configs) and
-    the figure's root seed. SHA-256 keeps the result stable across processes
-    and Python hash randomization.
+    the figure's root seed; fields listed in ``_IDENTITY_NEUTRAL_DEFAULTS``
+    are excluded while they hold their default value. SHA-256 keeps the
+    result stable across processes and Python hash randomization.
     """
     identity = sorted(
         (name, repr(value))
         for name, value in vars(spec).items()
-        if name != "seed"
+        if name != "seed" and _IDENTITY_NEUTRAL_DEFAULTS.get(name, _MISSING) != value
     )
     payload = repr((identity, root_seed)).encode("utf-8")
     digest = hashlib.sha256(payload).digest()
@@ -105,12 +115,35 @@ def _execute_spec(task: Tuple[ExperimentSpec, bool]) -> ExperimentResult:
     return result
 
 
+def _execute_unit(unit: Tuple[str, ExperimentSpec, Any]) -> ExperimentResult:
+    """Worker entry point for one schedulable unit: a whole cell or one shard.
+
+    Parallel-sharded cells are split into per-shard units so independent
+    shards occupy different worker processes; their raw per-operation
+    results are kept (the parent needs them to merge latency summaries
+    exactly as a serial run would).
+    """
+    kind, spec, arg = unit
+    if kind == "shard":
+        from repro.bench.harness import run_shard_experiment
+
+        return run_shard_experiment(spec, arg)
+    return _execute_spec((spec, arg))
+
+
 def run_specs(
     specs: Sequence[ExperimentSpec],
     jobs: Optional[int] = None,
     keep_results: bool = False,
 ) -> List[ExperimentResult]:
     """Run experiments, in parallel when ``jobs`` allows, preserving order.
+
+    Cells with ``shards > 1`` and ``shard_mode == "parallel"`` are expanded
+    into one unit per shard, so fully independent shards run in separate
+    worker processes; the per-shard results are merged (in shard order)
+    into one result per cell. The merge is the same function a serial
+    :func:`~repro.bench.harness.run_experiment` applies, so the output is
+    identical for any worker count.
 
     Args:
         specs: The experiment grid, one spec per cell.
@@ -124,13 +157,43 @@ def run_specs(
         worker scheduling — serial and parallel runs produce identical
         output for identical specs.
     """
+    from repro.bench.harness import merge_shard_results
+
     if jobs is None:
         jobs = default_jobs()
-    tasks = [(spec, keep_results) for spec in specs]
-    if jobs <= 1 or len(specs) <= 1:
-        return [_execute_spec(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-        return list(pool.map(_execute_spec, tasks))
+    units: List[Tuple[str, ExperimentSpec, Any]] = []
+    layout: List[Tuple[str, ExperimentSpec, List[int]]] = []
+    for spec in specs:
+        if spec.shards > 1 and spec.shard_mode == "parallel":
+            indices = list(range(len(units), len(units) + spec.shards))
+            units.extend(("shard", spec, shard) for shard in range(spec.shards))
+            layout.append(("shards", spec, indices))
+        else:
+            layout.append(("whole", spec, [len(units)]))
+            units.append(("whole", spec, keep_results))
+    if jobs <= 1 or len(units) <= 1:
+        outputs = [_execute_unit(unit) for unit in units]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(units))) as pool:
+            outputs = list(pool.map(_execute_unit, units))
+    results: List[ExperimentResult] = []
+    for kind, spec, indices in layout:
+        if kind == "shards":
+            merged = merge_shard_results(spec, [outputs[i] for i in indices])
+            if not keep_results:
+                merged.results = []
+                merged.history = None
+            results.append(merged)
+        else:
+            results.append(outputs[indices[0]])
+    return results
+
+
+#: Extra :class:`ExperimentSpec` field overrides applied to every grid cell
+#: by :func:`run_cells` — the hook behind the CLI's ``--shards`` /
+#: ``--shard-mode`` grid axes. Applied *before* per-cell seed derivation, so
+#: overridden grids get their own deterministic seeds. Empty by default.
+GRID_SPEC_OVERRIDES: Dict[str, Any] = {}
 
 
 def run_cells(
@@ -138,6 +201,7 @@ def run_cells(
     root_seed: int,
     jobs: Optional[int] = None,
     keep_results: bool = False,
+    spec_overrides: Optional[Dict[str, Any]] = None,
 ) -> Dict[Hashable, ExperimentResult]:
     """Run a keyed experiment grid with derived per-cell seeds.
 
@@ -146,6 +210,8 @@ def run_cells(
         root_seed: Figure-level seed mixed into every cell's derived seed.
         jobs: Worker processes (see :func:`run_specs`).
         keep_results: Keep raw per-operation results.
+        spec_overrides: Field overrides applied to every cell's spec
+            (defaults to the module-level :data:`GRID_SPEC_OVERRIDES`).
 
     Returns:
         Mapping from each cell key to its result.
@@ -153,6 +219,33 @@ def run_cells(
     keys = [key for key, _ in cells]
     if len(set(keys)) != len(keys):
         raise BenchmarkError("grid cell keys must be unique")
+    overrides = GRID_SPEC_OVERRIDES if spec_overrides is None else spec_overrides
+    if overrides:
+        # A figure that sweeps an axis itself (any cell holds the field at a
+        # non-default value — e.g. figure_shard_scale's shard axis) owns that
+        # axis: overriding it would relabel the sweep, so the override is
+        # dropped for that grid.
+        effective = dict(overrides)
+        for name in list(effective):
+            default = _IDENTITY_NEUTRAL_DEFAULTS.get(name, _MISSING)
+            if default is not _MISSING and any(
+                getattr(spec, name) != default for _, spec in cells
+            ):
+                del effective[name]
+        if effective:
+            cells = [(key, replace(spec, **effective)) for key, spec in cells]
+    # shard_mode is meaningless without shards: normalize so e.g. a global
+    # `--shard-mode parallel` without `--shards` stays a true no-op — same
+    # cell identity, same derived seeds, same artifacts.
+    cells = [
+        (
+            key,
+            replace(spec, shard_mode="coupled")
+            if spec.shards == 1 and spec.shard_mode != "coupled"
+            else spec,
+        )
+        for key, spec in cells
+    ]
     seeded = [
         replace(spec, seed=derive_cell_seed(spec, root_seed)) for _, spec in cells
     ]
@@ -412,6 +505,7 @@ def _figure_functions() -> Dict[str, List[Callable[..., Any]]]:
         "ablations": [gridded(exp.ablation_optimizations), gridded(exp.ablation_wings_batching)],
         "openloop": [gridded(exp.figure_open_loop)],
         "rmw": [gridded(exp.figure_rmw_mix)],
+        "shardscale": [gridded(exp.figure_shard_scale)],
     }
 
 
@@ -459,6 +553,11 @@ def run_figure(
         "seed": seed,
         "results": [],
     }
+    if GRID_SPEC_OVERRIDES:
+        # Overridden grids are a different measurement; stamping the
+        # overrides prevents their artifacts from diffing clean against
+        # (or silently replacing) the default baselines.
+        payload["spec_overrides"] = dict(GRID_SPEC_OVERRIDES)
     for func in functions:
         result = func(scale, seed, jobs)
         if print_tables:
@@ -486,8 +585,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="append",
         dest="figures",
         metavar="FIG",
-        help="figure to run: 5, 6, 7, 8, 9, table2, ablations, or all "
-        "(repeatable; default: all)",
+        help="figure to run: 5, 6, 7, 8, 9, table2, ablations, openloop, "
+        "rmw, shardscale, or all (repeatable; default: all)",
     )
     parser.add_argument(
         "--scale",
@@ -496,6 +595,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(default: $REPRO_BENCH_SCALE or 'bench')",
     )
     parser.add_argument("--seed", type=int, default=1, help="root seed (default: 1)")
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="S",
+        help="override the key-range shard count of every grid cell "
+        "(figure 9 and table2 have bespoke setups and are unaffected)",
+    )
+    parser.add_argument(
+        "--shard-mode",
+        choices=["coupled", "parallel"],
+        default=None,
+        help="how shards execute: 'coupled' shares node CPU/NIC inside one "
+        "simulation, 'parallel' runs independent shards across worker "
+        "processes (default: coupled)",
+    )
     jobs_env = os.environ.get("REPRO_BENCH_JOBS")
     parser.add_argument(
         "--jobs",
@@ -546,6 +661,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except BenchmarkError as exc:
         parser.error(str(exc))
 
+    if args.shards is not None and args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.shard_mode == "parallel" and (args.shards or 1) > 1 and "openloop" in figures:
+        # Fail before any figure burns compute: the open-loop sweep's
+        # Poisson sessions cannot be split across independent shard
+        # simulations (closed-loop replay only).
+        parser.error(
+            "--shard-mode parallel with --shards > 1 does not support the "
+            "open-loop figure (closed-loop clients only); use --shard-mode "
+            "coupled or select other figures"
+        )
+    overrides: Dict[str, Any] = {}
+    if args.shards is not None:
+        overrides["shards"] = args.shards
+    if args.shard_mode is not None and overrides.get("shards", 1) > 1:
+        # shard_mode without shards is a no-op; dropping it here keeps the
+        # run (and its artifact payload) identical to a plain run.
+        overrides["shard_mode"] = args.shard_mode
+    previous_overrides = dict(GRID_SPEC_OVERRIDES)
+    GRID_SPEC_OVERRIDES.clear()
+    GRID_SPEC_OVERRIDES.update(overrides)
+    try:
+        return _run_figures(args, figures, scale, tolerances)
+    finally:
+        # In-process callers (tests, notebooks) must not inherit the CLI's
+        # overrides as ambient state for later run_cells() calls.
+        GRID_SPEC_OVERRIDES.clear()
+        GRID_SPEC_OVERRIDES.update(previous_overrides)
+
+
+def _run_figures(
+    args: argparse.Namespace,
+    figures: Sequence[str],
+    scale: Scale,
+    tolerances: Sequence[Tuple[str, float]],
+) -> int:
+    """Run the selected figures and (optionally) diff against baselines."""
     output_dir = None if args.no_artifacts else args.output_dir
     if output_dir is not None:
         os.makedirs(output_dir, exist_ok=True)
@@ -595,4 +747,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    # Delegate to the canonically imported module so only one copy of this
+    # module's globals (notably GRID_SPEC_OVERRIDES) is ever live — under
+    # ``python -m`` this file executes as ``__main__`` while the figure
+    # functions import ``repro.bench.runner``.
+    from repro.bench.runner import main as _main
+
+    sys.exit(_main())

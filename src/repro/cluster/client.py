@@ -61,7 +61,14 @@ class ClientSession:
         if replica_id is None:
             replica_id = cluster.node_ids[client_id % len(cluster.node_ids)]
         self.replica_id = replica_id
-        self._replica = cluster.replica(replica_id)
+        if cluster.sharded:
+            # Key-range sharding: each operation routes to the replica of
+            # the shard owning its key, on this session's bound node.
+            self._replica = None
+            self._shard_replicas = cluster.replicas_on(replica_id)
+            self._shard_of = cluster.shard_router.shard_of
+        else:
+            self._replica = cluster.replica(replica_id)
         self._sim = cluster.sim
         self.request_latency = request_latency
         # Per-client deterministic stream for request/response latency
@@ -95,6 +102,13 @@ class ClientSession:
             base * (1.0 + (rnd() * 2.0 - 1.0) * jitter),
         )
 
+    def _replica_for(self, op: Operation):
+        """The replica serving ``op`` (shard-routed on sharded clusters)."""
+        replica = self._replica
+        if replica is None:
+            return self._shard_replicas[self._shard_of(op.key)]
+        return replica
+
     def _issue(self, op: Operation) -> None:
         self.issued += 1
         start = self.cluster.sim.now
@@ -102,12 +116,14 @@ class ClientSession:
             self.history.invoke(op, start)
         request_lat, response_lat = self._draw_latencies()
         if request_lat > 0:
-            self._replica.submit_at(start + request_lat, op, partial(self._record, start, response_lat))
+            self._replica_for(op).submit_at(
+                start + request_lat, op, partial(self._record, start, response_lat)
+            )
         else:
             self._submit(op, start)
 
     def _submit(self, op: Operation, start: float) -> None:
-        self._replica.submit(op, partial(self._record, start, 0.0))
+        self._replica_for(op).submit(op, partial(self._record, start, 0.0))
 
     def _record(self, start: float, response_lat: float, op: Operation, status: OpStatus, value: Value) -> None:
         # Note the argument order: ``start`` and the response-leg latency
@@ -218,7 +234,7 @@ class ClosedLoopClient(ClientSession):
         op = self.workload.next_operation(self.client_id)
         request_lat, next_response_lat = self._draw_latencies()
         if request_lat > 0 or issue_time > sim._now:
-            self._replica.submit_at(
+            self._replica_for(op).submit_at(
                 issue_time + request_lat, op, partial(self._record, issue_time, next_response_lat)
             )
         else:

@@ -10,8 +10,9 @@ class rather than assembling pieces by hand.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Type
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Type
 
+from repro.cluster.sharding import ShardHost, ShardRouter
 from repro.core.config import HermesConfig
 from repro.core.replica import HermesReplica
 from repro.errors import ConfigurationError
@@ -40,6 +41,11 @@ class ClusterConfig:
         protocol: Registry name of the protocol to deploy (``"hermes"``,
             ``"craq"``, ``"cr"``, ``"zab"``, ``"derecho"``).
         num_replicas: Replication degree (the paper evaluates 3, 5 and 7).
+        shards: Number of key-range shards. Each shard is an independent
+            protocol group over the same simulated nodes; shards on one
+            node share its CPU and NIC budget like HermesKV worker threads
+            share a machine (see :mod:`repro.cluster.sharding`). ``1``
+            builds the classic unsharded deployment.
         seed: Root seed for every random stream in the deployment.
         network: Network fabric configuration.
         service_model: Per-node CPU model.
@@ -60,6 +66,7 @@ class ClusterConfig:
 
     protocol: str = "hermes"
     num_replicas: int = 5
+    shards: int = 1
     seed: int = 1
     network: NetworkConfig = field(default_factory=NetworkConfig)
     service_model: ServiceTimeModel = field(default_factory=ServiceTimeModel)
@@ -77,6 +84,13 @@ class ClusterConfig:
         """Raise :class:`ConfigurationError` for invalid settings."""
         if self.num_replicas < 1:
             raise ConfigurationError("num_replicas must be >= 1")
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.shards > 1 and self.run_membership_service:
+            # The RM service addresses whole nodes; per-shard membership
+            # agents would multiplex over one node id. Failure experiments
+            # (Figure 9) run unsharded.
+            raise ConfigurationError("run_membership_service is not supported with shards > 1")
         if self.protocol not in protocol_registry():
             raise ConfigurationError(
                 f"unknown protocol {self.protocol!r}; known: {sorted(protocol_registry())}"
@@ -103,8 +117,19 @@ class Cluster:
         self.network = Network(self.sim, config.network, rng=self.rng.stream("network"))
         self.tracer = Tracer(enabled=config.enable_tracing)
         self.view = MembershipView.initial(range(config.num_replicas))
+        self.shards = config.shards
+        self.sharded = config.shards > 1
+        self.shard_router = ShardRouter(config.shards)
+        #: Unsharded deployments: node id -> the node's (only) replica.
         self.replicas: Dict[NodeId, ReplicaNode] = {}
-        self._build_replicas()
+        #: Sharded deployments: node id -> the node's host process, and
+        #: (node id, shard) -> that shard's replica on the node.
+        self.hosts: Dict[NodeId, ShardHost] = {}
+        self.shard_replicas: Dict[Tuple[NodeId, int], ReplicaNode] = {}
+        if self.sharded:
+            self._build_sharded_replicas()
+        else:
+            self._build_replicas()
         self.membership_service: Optional[MembershipService] = None
         if config.run_membership_service:
             self.membership_service = MembershipService(
@@ -119,61 +144,142 @@ class Cluster:
     def _replica_class(self) -> Type[ReplicaNode]:
         return protocol_registry()[self.config.protocol]
 
-    def _build_replicas(self) -> None:
+    def _make_replica(
+        self,
+        node_id: NodeId,
+        clock: LooselySynchronizedClock,
+        host: Optional[ShardHost] = None,
+        shard_id: int = 0,
+    ) -> ReplicaNode:
+        """Construct one protocol replica (standalone node or shard guest)."""
         cls = self._replica_class()
+        kwargs: Dict[str, Any] = {}
+        if cls is HermesReplica:
+            kwargs["hermes_config"] = self.config.hermes
+        if cls is DerechoReplica:
+            kwargs["derecho_config"] = self.config.derecho
+        if host is not None:
+            kwargs["host"] = host
+            kwargs["shard_id"] = shard_id
+        replica = cls(
+            node_id,
+            self.sim,
+            self.network,
+            self.view,
+            config=self.config.replica,
+            store=KeyValueStore(track_index=self.config.replica.track_kvs_index),
+            service_model=self.config.service_model,
+            tracer=self.tracer,
+            clock=clock,
+            **kwargs,
+        )
+        if self.config.use_wings:
+            replica.transport = WingsTransport(
+                node=replica,
+                peers=[n for n in range(self.config.num_replicas) if n != node_id],
+                batching=self.config.wings_batching,
+                credits=self.config.wings_credits,
+            )
+        return replica
+
+    def _build_replicas(self) -> None:
         clock_rng = self.rng.stream("clocks")
         for node_id in range(self.config.num_replicas):
-            kwargs: Dict[str, Any] = {}
-            if cls is HermesReplica:
-                kwargs["hermes_config"] = self.config.hermes
-            if cls is DerechoReplica:
-                kwargs["derecho_config"] = self.config.derecho
-            replica = cls(
-                node_id,
-                self.sim,
-                self.network,
-                self.view,
-                config=self.config.replica,
-                store=KeyValueStore(track_index=self.config.replica.track_kvs_index),
-                service_model=self.config.service_model,
-                tracer=self.tracer,
-                clock=LooselySynchronizedClock(self.config.replica.clock, rng=clock_rng),
-                **kwargs,
-            )
-            if self.config.use_wings:
-                replica.transport = WingsTransport(
-                    node=replica,
-                    peers=[n for n in range(self.config.num_replicas) if n != node_id],
-                    batching=self.config.wings_batching,
-                    credits=self.config.wings_credits,
-                )
-            self.replicas[node_id] = replica
+            clock = LooselySynchronizedClock(self.config.replica.clock, rng=clock_rng)
+            self.replicas[node_id] = self._make_replica(node_id, clock)
+
+    def _build_sharded_replicas(self) -> None:
+        """Assemble ``shards`` independent protocol groups over shared nodes.
+
+        Each simulated node gets one :class:`ShardHost` (the CPU timeline
+        and network endpoint) plus one guest replica per shard. Shards on a
+        node share the host's CPU/NIC budget and the node's loosely
+        synchronized clock — they are co-located partitions of one machine,
+        not extra machines.
+        """
+        clock_rng = self.rng.stream("clocks")
+        for node_id in range(self.config.num_replicas):
+            host = ShardHost(node_id, self.sim, self.network, self.config.service_model)
+            self.hosts[node_id] = host
+            clock = LooselySynchronizedClock(self.config.replica.clock, rng=clock_rng)
+            for shard in range(self.config.shards):
+                replica = self._make_replica(node_id, clock, host=host, shard_id=shard)
+                host.attach(replica)
+                self.shard_replicas[(node_id, shard)] = replica
 
     # --------------------------------------------------------------- access
     @property
     def node_ids(self) -> List[NodeId]:
         """All replica node ids."""
+        if self.sharded:
+            return sorted(self.hosts)
         return sorted(self.replicas)
 
     def replica(self, node_id: NodeId) -> ReplicaNode:
-        """The replica with the given node id."""
+        """The replica with the given node id (unsharded deployments)."""
+        if self.sharded:
+            raise ConfigurationError(
+                "a sharded cluster has one replica per (node, shard); use shard_replica()"
+            )
         return self.replicas[node_id]
+
+    def shard_replica(self, node_id: NodeId, shard: int = 0) -> ReplicaNode:
+        """The replica serving ``shard`` on ``node_id`` (any deployment)."""
+        if self.sharded:
+            return self.shard_replicas[(node_id, shard)]
+        if shard != 0:
+            raise ConfigurationError(f"unsharded cluster has no shard {shard}")
+        return self.replicas[node_id]
+
+    def replicas_on(self, node_id: NodeId) -> List[ReplicaNode]:
+        """All shard replicas hosted on ``node_id``, in shard order."""
+        if self.sharded:
+            return list(self.hosts[node_id].shard_replicas)
+        return [self.replicas[node_id]]
+
+    def all_replicas(self) -> Iterator[ReplicaNode]:
+        """Every protocol replica instance (``nodes x shards`` when sharded)."""
+        if self.sharded:
+            return iter(self.shard_replicas.values())
+        return iter(self.replicas.values())
 
     def live_replicas(self) -> List[ReplicaNode]:
         """Replicas that have not crashed."""
-        return [r for r in self.replicas.values() if not r.crashed]
+        return [r for r in self.all_replicas() if not r.crashed]
 
     # -------------------------------------------------------------- dataset
     def preload(self, dataset: Dict[Key, Value]) -> None:
-        """Install the initial dataset on every replica (no replication traffic)."""
+        """Install the initial dataset on every replica (no replication traffic).
+
+        Sharded deployments partition the dataset: each key is preloaded
+        only into the replicas of the shard that owns it, so per-shard
+        stores hold disjoint key ranges.
+        """
+        if self.sharded:
+            shard_of = self.shard_router.shard_of
+            for key, value in dataset.items():
+                shard = shard_of(key)
+                for node_id in self.hosts:
+                    self.shard_replicas[(node_id, shard)].preload(key, value)
+            return
         for replica in self.replicas.values():
             for key, value in dataset.items():
                 replica.preload(key, value)
 
     # --------------------------------------------------------------- faults
     def crash(self, node_id: NodeId) -> None:
-        """Crash a replica immediately."""
-        self.replicas[node_id].crash()
+        """Crash a node immediately (all of its shard replicas with it)."""
+        if self.sharded:
+            self.hosts[node_id].crash()
+        else:
+            self.replicas[node_id].crash()
+
+    def recover(self, node_id: NodeId) -> None:
+        """Clear a node's crashed flag (all of its shard replicas with it)."""
+        if self.sharded:
+            self.hosts[node_id].recover()
+        else:
+            self.replicas[node_id].recover()
 
     def crash_at(self, node_id: NodeId, time: float) -> None:
         """Schedule a replica crash at an absolute simulated time."""
@@ -190,5 +296,5 @@ class Cluster:
 
     # ------------------------------------------------------------ statistics
     def total_stat(self, attribute: str) -> int:
-        """Sum an integer statistic attribute across all replicas."""
-        return sum(getattr(replica, attribute, 0) for replica in self.replicas.values())
+        """Sum an integer statistic attribute across all (shard) replicas."""
+        return sum(getattr(replica, attribute, 0) for replica in self.all_replicas())

@@ -93,7 +93,7 @@ class FailureInjector:
         elif event.kind is FailureKind.RECOVER:
             if event.node is None:
                 raise ConfigurationError("recover event requires a node")
-            self.cluster.replicas[event.node].recover()
+            self.cluster.recover(event.node)
         elif event.kind is FailureKind.PARTITION:
             if not event.groups:
                 raise ConfigurationError("partition event requires groups")

@@ -1,0 +1,111 @@
+"""Key-range sharding: partitioned protocol groups in one cluster.
+
+The paper's HermesKV is a multi-threaded KVS in which every thread owns a
+partition of the key space and runs the replication protocol for its
+partition independently (§6). This module reproduces that structure inside
+the simulation: a cluster built with ``shards=S`` hosts ``S`` independent
+protocol instances — each a complete replica group over the same simulated
+nodes — and partitions the key space across them.
+
+Two pieces implement it:
+
+* :class:`ShardRouter` — the pure key→shard mapping (hash partitioning, as
+  HermesKV's per-thread key partitioning). Clients use it to route each
+  operation to the right shard replica; the cluster uses it to partition
+  the preloaded dataset.
+* :class:`ShardHost` — one per simulated node. It owns the node's CPU
+  timeline, arrival inbox and network registration; the per-shard protocol
+  replicas are constructed as *guests* of the host (see
+  :mod:`repro.sim.node`), so all shards on a node share the node's CPU and
+  NIC budget exactly like HermesKV worker threads share a machine. Shard
+  traffic travels as ``(shard_id, inner)`` envelopes over the existing
+  batched delivery path; the envelope is routing metadata only and adds no
+  wire bytes (a real deployment demultiplexes by key, which already
+  determines the shard).
+
+``shards=1`` deployments bypass this module entirely — the cluster builds
+the exact unsharded structure, keeping artifacts byte-identical.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.node import NodeProcess, ServiceTimeModel
+from repro.types import Key, NodeId
+
+
+class ShardRouter:
+    """Stable hash partitioning of the key space into ``num_shards`` shards.
+
+    Integer keys (the library's fast path) map by modulo, which spreads the
+    head of a zipfian distribution across shards the way hash partitioning
+    does in real deployments; other key types hash through CRC-32 of their
+    ``repr`` so the mapping is stable across processes and Python hash
+    randomization (a requirement for deterministic process-parallel shard
+    execution).
+    """
+
+    __slots__ = ("num_shards",)
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        self.num_shards = num_shards
+
+    def shard_of(self, key: Key) -> int:
+        """The shard owning ``key``."""
+        if type(key) is int:
+            return key % self.num_shards
+        return zlib.crc32(repr(key).encode("utf-8")) % self.num_shards
+
+
+class ShardHost(NodeProcess):
+    """The per-node process hosting one replica of every shard.
+
+    The host is what the network and the simulator see: one CPU timeline,
+    one arrival inbox, one crash flag per simulated node. Incoming
+    ``(shard_id, inner)`` envelopes — network messages and locally submitted
+    client work alike — are unwrapped and dispatched to the owning shard's
+    replica, whose handlers run under the host's CPU service model.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        sim: Simulator,
+        network: Network,
+        service_model: Optional[ServiceTimeModel] = None,
+    ) -> None:
+        super().__init__(node_id, sim, network, service_model)
+        #: Shard id -> guest replica, indexed positionally (shard ids are
+        #: dense 0..S-1); filled by :meth:`attach` during cluster assembly.
+        self.shard_replicas: List[Any] = []
+
+    def attach(self, replica: Any) -> None:
+        """Register the next shard's guest replica (in shard-id order)."""
+        if replica.guest_tag != len(self.shard_replicas):
+            raise ConfigurationError(
+                f"shard replicas must attach in shard order; got shard "
+                f"{replica.guest_tag}, expected {len(self.shard_replicas)}"
+            )
+        self.shard_replicas.append(replica)
+
+    # ------------------------------------------------------------- dispatch
+    def on_message(self, src: NodeId, message: Any) -> None:
+        if type(message) is not tuple:
+            raise SimulationError(
+                f"sharded node {self.node_id} received an unenveloped message "
+                f"{type(message).__name__!r} (membership-service traffic is not "
+                f"supported on sharded clusters)"
+            )
+        shard, inner = message
+        self.shard_replicas[shard].on_message(src, inner)
+
+    def on_local_work(self, work: Any) -> None:
+        shard, inner = work
+        self.shard_replicas[shard].on_local_work(inner)

@@ -19,9 +19,13 @@ from repro.sim.engine import EventHandle
 from repro.types import Key, NodeId, Operation, Value
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingUpdate:
     """An update this replica is coordinating (paper CINV .. CVAL).
+
+    One instance is allocated per update on the benchmark hot path, so the
+    class is slotted and its ``acks`` set may be a pooled object handed in
+    by the coordinating replica (returned to the pool at commit/abort).
 
     Attributes:
         key: Target key.
@@ -69,7 +73,7 @@ class PendingUpdate:
             self.mlt_timer = None
 
 
-@dataclass
+@dataclass(slots=True)
 class StalledRequest:
     """A client request parked on a key that is not currently serviceable.
 

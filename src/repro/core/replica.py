@@ -60,6 +60,10 @@ class HermesReplica(ReplicaNode):
         self._stalled: Dict[Key, List[StalledRequest]] = {}
         #: Optimization O3 bookkeeping: acks observed per (key, timestamp).
         self._observed_acks: Dict[Tuple[Key, Timestamp], Set[NodeId]] = {}
+        #: Recycled per-update ACK sets. Every update allocates one set and
+        #: discards it microseconds later at commit; recycling the cleared
+        #: sets removes that churn from the per-write hot path.
+        self._ack_set_pool: List[Set[NodeId]] = []
         # Bound store-dict access once: _record() runs for every read, INV,
         # ACK and VAL (the store's record dict is never reassigned).
         self._records_get = self.store._records.get
@@ -168,8 +172,16 @@ class HermesReplica(ReplicaNode):
         meta.rmw_flag = is_rmw
         meta.last_writer = self.node_id
         meta.transition(KeyState.WRITE)
+        pool = self._ack_set_pool
         pending = PendingUpdate(
-            key=key, ts=ts, value=value, is_rmw=is_rmw, is_replay=False, op=op, callback=callback
+            key=key,
+            ts=ts,
+            value=value,
+            is_rmw=is_rmw,
+            is_replay=False,
+            op=op,
+            callback=callback,
+            acks=pool.pop() if pool else set(),
         )
         self._pending[key] = pending
         if self.tracer.enabled:
@@ -182,12 +194,14 @@ class HermesReplica(ReplicaNode):
         if key in self._pending or meta.state is not KeyState.INVALID:
             return
         meta.transition(KeyState.REPLAY)
+        pool = self._ack_set_pool
         pending = PendingUpdate(
             key=key,
             ts=meta.timestamp,
             value=record.value,
             is_rmw=meta.rmw_flag,
             is_replay=True,
+            acks=pool.pop() if pool else set(),
         )
         self._pending[key] = pending
         self.replays_started += 1
@@ -288,6 +302,7 @@ class HermesReplica(ReplicaNode):
                 key_size=self.config.key_size,
             )
             self.transport.broadcast(self.peers(), val, self._val_size)
+        self._release_acks(pending)
         self._drain_stalled(pending.key)
 
     def _notify_client(self, pending: PendingUpdate, status: OpStatus) -> None:
@@ -303,7 +318,19 @@ class HermesReplica(ReplicaNode):
         pending.cancel_timer()
         self.rmws_aborted += 1
         self._notify_client(pending, OpStatus.ABORTED)
+        self._release_acks(pending)
         self.tracer.record(self.sim.now, self.node_id, "rmw-abort", key=pending.key, ts=pending.ts)
+
+    def _release_acks(self, pending: PendingUpdate) -> None:
+        """Return a finished update's ACK set to the reuse pool.
+
+        Called exactly once per update, at one of the three exits of the
+        coordinator role: local commit, RMW abort, or a peer's replay
+        completing our in-flight update (VAL while in Write/Replay).
+        """
+        acks = pending.acks
+        acks.clear()
+        self._ack_set_pool.append(acks)
 
     # -------------------------------------------------------- follower side
     def handle_protocol_message(self, src: NodeId, message: Any) -> None:
@@ -398,6 +425,7 @@ class HermesReplica(ReplicaNode):
                 del self._pending[val.key]
                 pending.cancel_timer()
                 self._notify_client(pending, OpStatus.OK)
+                self._release_acks(pending)
             self._drain_stalled(val.key)
 
     # -------------------------------------------------- optimization O3 path

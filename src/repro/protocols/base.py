@@ -109,8 +109,15 @@ class ReplicaNode(NodeProcess):
         transport: Optional[Transport] = None,
         tracer: Optional[Tracer] = None,
         clock: Optional[LooselySynchronizedClock] = None,
+        host: Optional[NodeProcess] = None,
+        shard_id: int = 0,
     ) -> None:
-        super().__init__(node_id, sim, network, service_model)
+        super().__init__(node_id, sim, network, service_model, host=host, guest_tag=shard_id)
+        #: Which key-range shard this replica serves (0 for unsharded
+        #: deployments). Protocols use it to rotate placed roles (leader,
+        #: sequencer, chain order) so shards spread their hotspots across
+        #: the same nodes, as partitioned deployments do in practice.
+        self.shard_id = shard_id
         self.config = config or ReplicaConfig()
         self.config.validate()
         self.view = view
@@ -134,6 +141,9 @@ class ReplicaNode(NodeProcess):
         # frozen dataclasses; every membership change installs a new one).
         self._peers_view: Optional[MembershipView] = None
         self._peers_cache: Tuple[NodeId, ...] = ()
+        # role_ring() cache, invalidated the same way.
+        self._ring_view: Optional[MembershipView] = None
+        self._ring_cache: Tuple[NodeId, ...] = ()
 
     # --------------------------------------------------------------- clocks
     def local_time(self) -> float:
@@ -233,6 +243,31 @@ class ReplicaNode(NodeProcess):
             self._peers_view = view
             self._peers_cache = tuple(sorted(view.others(self.node_id)))
         return self._peers_cache
+
+    def role_ring(self, view: Optional[MembershipView] = None) -> Tuple[NodeId, ...]:
+        """View members sorted, then rotated by this replica's shard id.
+
+        Protocols place their distinguished roles by ring position (ZAB's
+        leader and Derecho's sequencer at ring[0], chains in ring order), so
+        different shards pin their coordinator roles — and hence their
+        serialization hotspots — to different physical nodes. With
+        ``shard_id == 0`` the ring is the plain sorted member list, keeping
+        unsharded deployments byte-identical to the pre-sharding code.
+
+        Args:
+            view: The view to compute the ring over; defaults to the
+                replica's current view. ``on_view_change`` hooks pass their
+                new view explicitly (the handler may run before
+                ``self.view`` is reassigned).
+        """
+        if view is None:
+            view = self.view
+        if view is not self._ring_view:
+            self._ring_view = view
+            members = sorted(view.members)
+            rotation = self.shard_id % len(members)
+            self._ring_cache = tuple(members[rotation:] + members[:rotation])
+        return self._ring_cache
 
     def preload(self, key: Key, value: Value) -> None:
         """Install an initial value during dataset loading (no replication)."""

@@ -26,7 +26,7 @@ from repro.types import Key, NodeId, Operation, OpStatus, OpType, Value
 CR_HEADER_BYTES = 16
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CrWriteRequest:
     """A write forwarded from the receiving node to the head."""
 
@@ -37,7 +37,7 @@ class CrWriteRequest:
     size_bytes: int = CR_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CrWriteDown:
     """A write propagating down the chain."""
 
@@ -49,7 +49,7 @@ class CrWriteDown:
     size_bytes: int = CR_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CrWriteReply:
     """Completion notification from the tail to the origin node."""
 
@@ -58,7 +58,7 @@ class CrWriteReply:
     size_bytes: int = CR_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CrReadRequest:
     """A read forwarded to the tail (CR serves linearizable reads there only)."""
 
@@ -68,7 +68,7 @@ class CrReadRequest:
     size_bytes: int = CR_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CrReadReply:
     """The tail's answer to a forwarded read."""
 
@@ -89,7 +89,10 @@ class ChainReplicationReplica(ReplicaNode):
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
-        self._chain: List[NodeId] = sorted(self.view.members)
+        # Chain order follows the shard's role ring: ascending node id for
+        # shard 0 (the unsharded layout), rotated per shard so head and tail
+        # duties spread across nodes in partitioned deployments.
+        self._chain: List[NodeId] = list(self.role_ring())
         self._pending_ops: Dict[int, Tuple[Operation, ClientCallback]] = {}
         self.writes_committed = 0
 
@@ -135,7 +138,7 @@ class ChainReplicationReplica(ReplicaNode):
 
     def on_view_change(self, view: MembershipView) -> None:
         """Rebuild the chain over the surviving members."""
-        self._chain = sorted(view.members)
+        self._chain = list(self.role_ring(view))
 
     # ------------------------------------------------------------ client ops
     def handle_client_op(self, op: Operation, callback: ClientCallback) -> None:

@@ -36,7 +36,7 @@ CRAQ_HEADER_BYTES = 16
 # --------------------------------------------------------------------------
 # Wire messages
 # --------------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteRequest:
     """A write forwarded from the receiving node to the head of the chain."""
 
@@ -47,7 +47,7 @@ class WriteRequest:
     size_bytes: int = CRAQ_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteDown:
     """A versioned write propagating down the chain (head towards tail)."""
 
@@ -59,7 +59,7 @@ class WriteDown:
     size_bytes: int = CRAQ_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AckUp:
     """A commit acknowledgement propagating up the chain (tail towards head)."""
 
@@ -68,7 +68,7 @@ class AckUp:
     size_bytes: int = CRAQ_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteReply:
     """Completion notification sent by the tail to the write's origin node."""
 
@@ -79,7 +79,7 @@ class WriteReply:
     size_bytes: int = CRAQ_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VersionQuery:
     """A dirty read asking the tail which version of a key has committed."""
 
@@ -89,7 +89,7 @@ class VersionQuery:
     size_bytes: int = CRAQ_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class VersionReply:
     """The tail's answer to a :class:`VersionQuery`."""
 
@@ -146,7 +146,10 @@ class CraqReplica(ReplicaNode):
 
     def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
-        self._chain: List[NodeId] = sorted(self.view.members)
+        # Chain order follows the shard's role ring (ascending node id for
+        # shard 0, rotated per shard) so each shard's head/tail hotspots
+        # land on different nodes — see ReplicaNode.role_ring.
+        self._chain: List[NodeId] = list(self.role_ring())
         #: Writes this node originated, waiting for their WriteReply.
         self._pending_client_ops: Dict[int, Tuple[Operation, ClientCallback]] = {}
         #: Dirty reads waiting for the tail's version reply.
@@ -171,7 +174,7 @@ class CraqReplica(ReplicaNode):
     # ------------------------------------------------------- chain topology
     @property
     def chain(self) -> List[NodeId]:
-        """Current chain order (ascending node id over the live view)."""
+        """Current chain order (the shard's role ring over the live view)."""
         return list(self._chain)
 
     @property
@@ -210,7 +213,7 @@ class CraqReplica(ReplicaNode):
 
     def on_view_change(self, view: MembershipView) -> None:
         """Rebuild the chain over the surviving members."""
-        self._chain = sorted(view.members)
+        self._chain = list(self.role_ring(view))
 
     # ------------------------------------------------------------ client ops
     def handle_client_op(self, op: Operation, callback: ClientCallback) -> None:

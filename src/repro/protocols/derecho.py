@@ -36,7 +36,7 @@ DERECHO_HEADER_BYTES = 16
 # --------------------------------------------------------------------------
 # Wire messages
 # --------------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SubmitUpdate:
     """An update forwarded from the receiving replica to the sequencer."""
 
@@ -47,7 +47,7 @@ class SubmitUpdate:
     size_bytes: int = DERECHO_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OrderedRound:
     """A sequenced round (ordered batch) of updates multicast to all replicas."""
 
@@ -56,7 +56,7 @@ class OrderedRound:
     size_bytes: int = DERECHO_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoundReceived:
     """A replica's confirmation that it received the whole round."""
 
@@ -64,7 +64,7 @@ class RoundReceived:
     size_bytes: int = DERECHO_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoundDeliver:
     """The sequencer's instruction to deliver (apply) a stable round."""
 
@@ -128,8 +128,9 @@ class DerechoReplica(ReplicaNode):
     # ------------------------------------------------------------- topology
     @property
     def sequencer(self) -> NodeId:
-        """The node sequencing rounds (lowest id in the view)."""
-        return min(self.view.members)
+        """The node sequencing rounds (first node of the shard's role ring;
+        the lowest view member for unsharded groups, rotated per shard)."""
+        return self.role_ring()[0]
 
     @property
     def is_sequencer(self) -> bool:

@@ -34,7 +34,7 @@ ZAB_HEADER_BYTES = 16
 # --------------------------------------------------------------------------
 # Wire messages
 # --------------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ForwardWrite:
     """A write forwarded from the receiving replica to the leader."""
 
@@ -45,7 +45,7 @@ class ForwardWrite:
     size_bytes: int = ZAB_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Proposal:
     """A leader proposal assigning ``zxid`` to a write."""
 
@@ -57,7 +57,7 @@ class Proposal:
     size_bytes: int = ZAB_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProposalAck:
     """A follower acknowledgement of a proposal."""
 
@@ -65,7 +65,7 @@ class ProposalAck:
     size_bytes: int = ZAB_HEADER_BYTES
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Commit:
     """A leader commit notification for ``zxid``."""
 
@@ -116,8 +116,13 @@ class ZabReplica(ReplicaNode):
     # ------------------------------------------------------------ leadership
     @property
     def leader(self) -> NodeId:
-        """The current leader (lowest node id in the view)."""
-        return min(self.view.members)
+        """The current leader (first node of the shard's role ring).
+
+        Unsharded groups elect the lowest node id, as before; sharded
+        groups rotate the leader by shard id so each shard's ordering
+        bottleneck lands on a different node.
+        """
+        return self.role_ring()[0]
 
     @property
     def is_leader(self) -> bool:

@@ -55,6 +55,23 @@ outstanding timers permanently — recovering does not resurrect work or
 timers from before the crash. Messages still in flight at the crash are
 delivered (and dropped) at their arrival times while the node stays down,
 and are processed normally if the node has recovered by then.
+
+Guest mode (key-range sharding)
+-------------------------------
+
+A node process may be constructed as a **guest** of another node process
+(the *host*), modelling several protocol instances — e.g. one replication
+group per key-range shard, like HermesKV's per-thread partitions — sharing
+one machine. A guest owns no CPU timeline, no inbox and no network
+registration: its sends, broadcasts, CPU charges, timers and local-work
+submissions all delegate to the host, so every shard hosted on a node
+competes for the same CPU and NIC budget. Outgoing messages and local work
+are tagged with the guest's ``guest_tag`` (the shard id) as a
+``(tag, inner)`` envelope; the host's handlers dispatch envelopes back to
+the right guest (see :class:`repro.cluster.sharding.ShardHost`). Crash
+state lives on the host: crashing the host silences every guest at once.
+The delegating closures are installed as instance attributes only when a
+host is given, so the unsharded hot path is untouched.
 """
 
 from __future__ import annotations
@@ -137,6 +154,8 @@ class NodeProcess:
         sim: Simulator,
         network: Network,
         service_model: Optional[ServiceTimeModel] = None,
+        host: Optional["NodeProcess"] = None,
+        guest_tag: int = 0,
     ) -> None:
         self.node_id = node_id
         self.sim = sim
@@ -145,6 +164,8 @@ class NodeProcess:
         self.service_model.validate()
         self._cpu_free_at: float = 0.0
         self._crashed = False
+        self._host = host
+        self.guest_tag = guest_tag
         self.messages_processed = 0
         # Flattened service-model constants for the hot paths (the model is
         # validated at construction and never mutated afterwards).
@@ -175,12 +196,18 @@ class NodeProcess:
         # Hot-path method bind (the network is fixed for the node's
         # lifetime): saves two attribute lookups per message.
         self._network_send = network.send
-        network.register_process(self)
+        if host is None:
+            network.register_process(self)
+        else:
+            self._enable_guest_mode(host, guest_tag)
 
     # ------------------------------------------------------------ properties
     @property
     def crashed(self) -> bool:
-        """Whether this node is currently crashed."""
+        """Whether this node is currently crashed (a guest mirrors its host)."""
+        host = self._host
+        if host is not None:
+            return host._crashed
         return self._crashed
 
     @property
@@ -384,6 +411,40 @@ class NodeProcess:
             self._timers = {h for h in timers if h.callback is not None}
             self._timer_prune_at = max(_TIMER_PRUNE_THRESHOLD, 2 * len(self._timers))
         return handle
+
+    # ----------------------------------------------------------- guest mode
+    def _enable_guest_mode(self, host: "NodeProcess", tag: int) -> None:
+        """Rebind this process's resource methods to delegate to ``host``.
+
+        Installed as instance attributes so the unhosted (common) case pays
+        nothing. All delegated work is wrapped in a ``(tag, inner)`` envelope
+        that the host's handlers unwrap (see
+        :class:`repro.cluster.sharding.ShardHost`); CPU charges and timers
+        need no envelope — they land on the shared machine directly.
+        """
+        self.send = self._guest_send
+        self.broadcast = self._guest_broadcast
+        self.submit_local = self._guest_submit_local
+        self.submit_local_at = self._guest_submit_local_at
+        self.charge_send = host.charge_send
+        self.charge_cpu = host.charge_cpu
+        self.set_timer = host.set_timer
+        self.crash = host.crash
+        self.recover = host.recover
+
+    def _guest_send(self, dst: NodeId, message: Any, size_bytes: int = 0) -> None:
+        self._host.send(dst, (self.guest_tag, message), size_bytes)
+
+    def _guest_broadcast(self, destinations, message: Any, size_bytes: int = 0) -> None:
+        self._host.broadcast(destinations, (self.guest_tag, message), size_bytes)
+
+    def _guest_submit_local(self, work: Any, size_bytes: int = 0, weight: float = 1.0) -> None:
+        self._host.submit_local((self.guest_tag, work), size_bytes, weight)
+
+    def _guest_submit_local_at(
+        self, time: float, work: Any, size_bytes: int = 0, weight: float = 1.0
+    ) -> None:
+        self._host.submit_local_at(time, (self.guest_tag, work), size_bytes, weight)
 
     # ---------------------------------------------------------------- hooks
     def on_message(self, src: NodeId, message: Any) -> None:

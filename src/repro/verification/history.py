@@ -79,6 +79,22 @@ class History:
         record.status = status
         record.result = result
 
+    def absorb(self, other: "History") -> None:
+        """Merge another history's records into this one (in their order).
+
+        Used to combine per-shard histories from process-parallel shard
+        execution, where each worker process assigns operation ids from its
+        own counter: colliding ids across shards are expected, so absorbed
+        records are stored under synthetic negative keys (real operation
+        ids are always positive). Key-disjoint shards keep the merged
+        history valid for the per-key linearizability checker.
+        """
+        base = len(self._order)
+        for offset, record in enumerate(other.operations()):
+            synthetic = -(base + offset + 1)
+            self._records[synthetic] = record
+            self._order.append(synthetic)
+
     # --------------------------------------------------------------- queries
     def __len__(self) -> int:
         return len(self._records)

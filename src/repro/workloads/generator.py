@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.errors import WorkloadError
 from repro.types import Key, Operation, OpType, Value
@@ -111,3 +111,36 @@ class WorkloadMix:
         """The initial key → value mapping to preload into every replica."""
         assert self.value_factory is not None
         return {key: self.value_factory(key, 0) for key in self.distribution.keys()}
+
+
+class ScriptedOps:
+    """A workload that replays precomputed per-client operation lists.
+
+    Process-parallel shard execution generates the *unsharded* request
+    stream once per shard worker and filters it down to the shard's keys
+    (see :func:`repro.bench.harness.run_shard_experiment`); the surviving
+    subsequence is replayed verbatim through this class. Replaying — rather
+    than re-sampling — guarantees that the per-shard streams sum exactly to
+    the unsharded stream: total operation counts, key choice and op mix are
+    invariant under the shard count.
+
+    Attributes:
+        scripts: Client id → that client's operations, in issue order.
+        seed: Seed exposed to client sessions (they fold it into their
+            request-latency jitter streams).
+    """
+
+    def __init__(self, scripts: Dict[int, List[Operation]], seed: int = 1) -> None:
+        self.scripts = scripts
+        self.seed = seed
+        self._cursor: Dict[int, int] = {client_id: 0 for client_id in scripts}
+
+    def ops_for(self, client_id: int) -> int:
+        """How many operations the script holds for ``client_id``."""
+        return len(self.scripts.get(client_id, ()))
+
+    def next_operation(self, client_id: int) -> Operation:
+        """Replay the next scripted operation for the given client."""
+        index = self._cursor[client_id]
+        self._cursor[client_id] = index + 1
+        return self.scripts[client_id][index]
