@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repository's docs (CI `docs` job).
+
+Scans every tracked ``*.md`` file for inline links/images
+(``[text](target)``) and reference definitions (``[ref]: target``) and
+verifies that **local** targets exist:
+
+* relative file paths must point at an existing file or directory
+  (resolved against the linking file's directory);
+* intra-repo anchors (``FILE.md#section``) must match a heading in the
+  target file (GitHub slug rules: lowercase, punctuation stripped, spaces
+  to dashes);
+* external targets (``http://``, ``https://``, ``mailto:``) are skipped —
+  CI must not depend on third-party availability.
+
+Exits non-zero listing every broken link. No dependencies beyond the
+standard library, matching the repository's no-install policy.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+#: Inline links/images: [text](target) — target up to the first unescaped ')'.
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: Reference-style definitions: [ref]: target
+_REF_DEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _heading_slugs(markdown: str) -> set[str]:
+    """GitHub-style anchor slugs of every heading in a markdown document."""
+    slugs: set[str] = set()
+    counts: dict[str, int] = {}
+    for line in markdown.splitlines():
+        match = re.match(r"#{1,6}\s+(.*)", line)
+        if not match:
+            continue
+        heading = re.sub(r"[`*_]", "", match.group(1)).strip()
+        slug = re.sub(r"[^\w\- ]", "", heading.lower()).replace(" ", "-")
+        count = counts.get(slug, 0)
+        counts[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
+def _targets(markdown: str) -> list[str]:
+    found = _INLINE_LINK.findall(markdown)
+    # Strip fenced code blocks before collecting reference definitions —
+    # example tables/configs often contain [key]: value lines.
+    without_code = re.sub(r"```.*?```", "", markdown, flags=re.DOTALL)
+    found.extend(_REF_DEF.findall(without_code))
+    return found
+
+
+def check_file(path: Path, repo_root: Path) -> list[str]:
+    """Return error strings for every broken local link in one file."""
+    errors: list[str] = []
+    markdown = path.read_text(encoding="utf-8")
+    # Links inside fenced code blocks are examples, not navigation.
+    scannable = re.sub(r"```.*?```", "", markdown, flags=re.DOTALL)
+    for target in _targets(scannable):
+        if target.startswith(_EXTERNAL) or target.startswith("<"):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if not file_part:
+            if anchor and anchor not in _heading_slugs(markdown):
+                errors.append(f"{path}: broken anchor #{anchor}")
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link {target!r} -> {resolved}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in _heading_slugs(resolved.read_text(encoding="utf-8")):
+                errors.append(f"{path}: broken anchor {target!r}")
+    return errors
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    tracked = subprocess.run(
+        ["git", "ls-files", "*.md"],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout.split()
+    errors: list[str] = []
+    for name in tracked:
+        errors.extend(check_file(repo_root / name, repo_root))
+    for error in errors:
+        print(f"ERROR {error}")
+    print(f"checked {len(tracked)} markdown files: {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

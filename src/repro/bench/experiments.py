@@ -71,6 +71,17 @@ RMW_MIX_PRESETS: Tuple[str, ...] = (
 #: Shard counts swept by the shard-scaling figure.
 SHARD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
 
+#: Cross-shard probabilities swept by the transaction figure.
+TXN_CROSS_SHARD_POINTS: Tuple[float, ...] = (0.0, 0.5, 1.0)
+
+#: Fraction of client requests that are transactions in the txn figure.
+TXN_FRACTION: float = 0.25
+
+#: Keys per transaction in the txn figure. Three keys give every shard
+#: count a clearly monotone abort-rate response to the cross-shard
+#: probability (more locks per transaction, wider cross-shard spans).
+TXN_KEYS: int = 3
+
 
 @dataclass
 class FigureResult:
@@ -523,6 +534,8 @@ def figure_shard_scale(
     protocols: Sequence[str] = MAIN_PROTOCOLS,
     shard_counts: Sequence[int] = SHARD_COUNTS,
     write_ratio: float = 0.20,
+    zipfian_exponent: Optional[float] = None,
+    figure_label: Optional[str] = None,
     seed: int = 1,
     jobs: Optional[int] = None,
 ) -> FigureResult:
@@ -545,7 +558,8 @@ def figure_shard_scale(
     """
     scale = scale or Scale.default()
     result = FigureResult(
-        figure="Shard scaling (key-range partitioned groups, 20% writes, uniform)",
+        figure=figure_label
+        or "Shard scaling (key-range partitioned groups, 20% writes, uniform)",
         headers=[
             "protocol",
             "shards",
@@ -564,7 +578,8 @@ def figure_shard_scale(
         base = ExperimentSpec(
             protocol=protocol,
             write_ratio=write_ratio,
-            label="shardscale",
+            zipfian_exponent=zipfian_exponent,
+            label="shardscale" if zipfian_exponent is None else "shardskew",
         ).with_scale(scale)
         cells.append(((protocol, 1, "base"), base))
         for shards in shard_counts:
@@ -605,6 +620,142 @@ def figure_shard_scale(
                     f"{speedup:.2f}x",
                 ]
             )
+    return result
+
+
+def figure_shard_scale_skew(
+    scale: Optional[Scale] = None,
+    protocols: Sequence[str] = MAIN_PROTOCOLS,
+    shard_counts: Sequence[int] = SHARD_COUNTS,
+    write_ratio: float = 0.20,
+    zipfian_exponent: float = 0.99,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+) -> FigureResult:
+    """Shard scaling under zipfian skew (the ROADMAP's hot-shard sweep).
+
+    The same grid as :func:`figure_shard_scale` but with zipfian(0.99)
+    keys: hash partitioning (integer keys map by modulo) spreads the head
+    of the distribution across shards, so parallel-mode scaling survives
+    skew, while per-shard load imbalance and hot-key write serialization
+    compress the gains relative to the uniform sweep — the effect this
+    figure quantifies.
+    """
+    return figure_shard_scale(
+        scale=scale,
+        protocols=protocols,
+        shard_counts=shard_counts,
+        write_ratio=write_ratio,
+        zipfian_exponent=zipfian_exponent,
+        figure_label=(
+            "Shard scaling under skew (key-range partitioned groups, "
+            "20% writes, zipfian 0.99)"
+        ),
+        seed=seed,
+        jobs=jobs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cross-shard transactions: 2PC over shard groups (repro.cluster.txn)
+# ---------------------------------------------------------------------------
+def figure_txn(
+    scale: Optional[Scale] = None,
+    protocol: str = "hermes",
+    shard_counts: Sequence[int] = SHARD_COUNTS,
+    cross_shard_points: Sequence[float] = TXN_CROSS_SHARD_POINTS,
+    txn_fraction: float = TXN_FRACTION,
+    txn_keys: int = TXN_KEYS,
+    write_ratio: float = 0.5,
+    zipfian_exponent: float = 0.99,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+) -> FigureResult:
+    """Multi-key transactions over shard groups: cross-shard cost and aborts.
+
+    Sweeps the cross-shard probability of a ``txn_mix`` workload (25%
+    2-key transactions, zipfian(0.99) keys for contention) at S ∈ {1, 2,
+    4, 8} coupled shards. Expected shape:
+
+    * a ``txn off`` control per shard count isolates the transaction
+      layer's overhead at identical load;
+    * at fixed S > 1, the **abort rate rises monotonically with the
+      cross-shard probability**: cross-shard transactions hold their
+      no-wait key locks across the full two-phase round instead of a
+      single lock-master visit, widening the conflict window;
+    * ``S = 1`` runs entirely on the single-shard fast path
+      (``txns_cross_shard == 0``) regardless of the requested cross-shard
+      probability, so only the 0.0 point is swept.
+    """
+    scale = scale or Scale.default()
+    result = FigureResult(
+        figure="Cross-shard transactions (2PC over shard groups, zipfian 0.99)",
+        headers=[
+            "shards",
+            "cross_shard_p",
+            "throughput",
+            "txns_committed",
+            "txns_aborted",
+            "abort_rate",
+            "p99_us",
+        ],
+        notes=(
+            f"{txn_fraction:.0%} of requests are {txn_keys}-key transactions; "
+            "no-wait locks at per-shard lock masters; aborts are lock "
+            "conflicts; 'off' rows run the identical workload without "
+            "transactions"
+        ),
+    )
+    base = ExperimentSpec(
+        protocol=protocol,
+        write_ratio=write_ratio,
+        zipfian_exponent=zipfian_exponent,
+        label="txn",
+    ).with_scale(scale)
+    cells = []
+    for shards in shard_counts:
+        cells.append(((shards, "off"), replace(base, shards=shards)))
+        points = cross_shard_points if shards > 1 else cross_shard_points[:1]
+        for cross in points:
+            cells.append(
+                (
+                    (shards, cross),
+                    replace(
+                        base,
+                        shards=shards,
+                        txn_fraction=txn_fraction,
+                        txn_keys=txn_keys,
+                        txn_cross_shard=cross,
+                    ),
+                )
+            )
+    runs = run_cells(cells, root_seed=seed, jobs=jobs)
+    for key, _spec in cells:
+        run = runs[key]
+        shards, cross = key
+        committed = run.cluster_stats["txns_committed"]
+        aborted = run.cluster_stats["txns_aborted"]
+        finished = committed + aborted
+        abort_rate = aborted / finished if finished else 0.0
+        result.data[key] = {
+            "throughput": run.throughput,
+            "txns_committed": committed,
+            "txns_aborted": aborted,
+            "txns_cross_shard": run.cluster_stats["txns_cross_shard"],
+            "abort_rate": abort_rate,
+            "p99_us": run.overall_latency.p99_us,
+        }
+        result.rows.append(
+            [
+                shards,
+                cross if cross == "off" else f"{cross:.1f}",
+                f"{run.throughput:,.0f}",
+                committed,
+                aborted,
+                f"{abort_rate:.3f}",
+                f"{run.overall_latency.p99_us:.1f}",
+            ]
+        )
     return result
 
 

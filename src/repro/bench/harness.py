@@ -94,6 +94,15 @@ class ExperimentSpec:
             when ``client_model == "open"``; ignored for closed loops.
         shards: Number of key-range shards (independent protocol groups).
             ``1`` is the classic unsharded deployment.
+        txn_fraction: Fraction of client requests that are multi-key
+            transactions executed by the 2PC layer (:mod:`repro.cluster.txn`).
+            ``0.0`` generates the classic single-op stream, byte-identical
+            to pre-transaction workloads.
+        txn_keys: Distinct keys per generated transaction.
+        txn_cross_shard: Probability that a generated transaction spans at
+            least two shards (requires ``shards > 1`` to have any effect).
+            Cross-shard transactions run full two-phase commit;
+            single-shard ones take the lock-master fast path.
         shard_mode: How shards execute. ``"coupled"`` hosts every shard on
             the same simulated nodes inside one simulation — shards share
             node CPU/NIC budgets like HermesKV threads share a machine.
@@ -125,6 +134,9 @@ class ExperimentSpec:
     offered_load: Optional[float] = None
     shards: int = 1
     shard_mode: str = "coupled"
+    txn_fraction: float = 0.0
+    txn_keys: int = 2
+    txn_cross_shard: float = 0.0
     seed: int = 1
     use_wings: bool = False
     worker_threads: int = 20
@@ -212,6 +224,10 @@ def build_workload(spec: ExperimentSpec) -> WorkloadMix:
         rmw_ratio=spec.rmw_ratio,
         value_size=spec.value_size,
         seed=spec.seed,
+        txn_fraction=spec.txn_fraction,
+        txn_keys=spec.txn_keys,
+        txn_cross_shard=spec.txn_cross_shard,
+        txn_num_shards=spec.shards,
     )
 
 
@@ -310,6 +326,10 @@ def _reduce_run(
         "rmws_aborted": cluster.total_stat("rmws_aborted"),
         "inv_retransmissions": cluster.total_stat("inv_retransmissions"),
         "messages_sent": cluster.network.stats.messages_sent,
+        "txns_committed": cluster.txn_stat("txns_committed"),
+        "txns_aborted": cluster.txn_stat("txns_aborted"),
+        "txns_timedout": cluster.txn_stat("txns_timedout"),
+        "txns_cross_shard": cluster.txn_stat("txns_cross_shard"),
     }
     return _summarize(spec, results, duration, history, stats)
 
@@ -327,6 +347,14 @@ def _validate_spec(spec: ExperimentSpec) -> None:
         raise BenchmarkError(
             "parallel shard execution supports closed-loop clients only; "
             "use shard_mode='coupled' for open-loop sharded experiments"
+        )
+    if not 0.0 <= spec.txn_fraction <= 1.0:
+        raise BenchmarkError("txn_fraction must be within [0, 1]")
+    if spec.txn_fraction > 0 and spec.shards > 1 and spec.shard_mode == "parallel":
+        raise BenchmarkError(
+            "transactions require shard_mode='coupled': parallel shard "
+            "execution runs shards as independent simulations, which cannot "
+            "exchange cross-shard 2PC traffic"
         )
 
 

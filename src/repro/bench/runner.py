@@ -74,7 +74,13 @@ def default_jobs() -> int:
 #: values. This lets new grid axes (e.g. ``shards``) be added to
 #: :class:`ExperimentSpec` without perturbing the derived seeds — and hence
 #: the committed ``BENCH_*.json`` baselines — of every pre-existing cell.
-_IDENTITY_NEUTRAL_DEFAULTS: Dict[str, Any] = {"shards": 1, "shard_mode": "coupled"}
+_IDENTITY_NEUTRAL_DEFAULTS: Dict[str, Any] = {
+    "shards": 1,
+    "shard_mode": "coupled",
+    "txn_fraction": 0.0,
+    "txn_keys": 2,
+    "txn_cross_shard": 0.0,
+}
 
 _MISSING = object()
 
@@ -506,6 +512,8 @@ def _figure_functions() -> Dict[str, List[Callable[..., Any]]]:
         "openloop": [gridded(exp.figure_open_loop)],
         "rmw": [gridded(exp.figure_rmw_mix)],
         "shardscale": [gridded(exp.figure_shard_scale)],
+        "shardskew": [gridded(exp.figure_shard_scale_skew)],
+        "txn": [gridded(exp.figure_txn)],
     }
 
 
@@ -586,7 +594,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         dest="figures",
         metavar="FIG",
         help="figure to run: 5, 6, 7, 8, 9, table2, ablations, openloop, "
-        "rmw, shardscale, or all (repeatable; default: all)",
+        "rmw, shardscale, shardskew, txn, or all (repeatable; default: all)",
     )
     parser.add_argument(
         "--scale",

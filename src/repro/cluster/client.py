@@ -24,7 +24,16 @@ from functools import partial
 from typing import List, Optional
 
 from repro.cluster.cluster import Cluster
-from repro.types import NodeId, Operation, OperationResult, OpStatus, OpType, Value
+from repro.cluster.txn import ClientTxnSubmit, TxnOutcome, ops_wire_size
+from repro.types import (
+    NodeId,
+    Operation,
+    OperationResult,
+    OpStatus,
+    OpType,
+    Transaction,
+    Value,
+)
 from repro.verification.history import History
 from repro.workloads.generator import WorkloadMix
 
@@ -83,6 +92,11 @@ class ClientSession:
         self.issued = 0
         self.completed = 0
         self.aborted = 0
+        #: Transaction outcomes (multi-key workloads only). A transaction
+        #: counts once toward ``issued``/``completed`` regardless of its
+        #: member-operation count.
+        self.txns_committed = 0
+        self.txns_aborted = 0
         # Only sessions that actually override on_complete (e.g. closed-loop
         # issuance) pay for a completion event per operation.
         self._wants_completion_hook = (
@@ -110,6 +124,9 @@ class ClientSession:
         return replica
 
     def _issue(self, op: Operation) -> None:
+        if op.__class__ is Transaction:
+            self._issue_txn(op)
+            return
         self.issued += 1
         start = self.cluster.sim.now
         if self.history is not None:
@@ -121,6 +138,74 @@ class ClientSession:
             )
         else:
             self._submit(op, start)
+
+    # ----------------------------------------------------------- transactions
+    def _txn_node(self):
+        """The node process receiving this session's transaction hand-offs."""
+        if self._replica is not None:
+            return self._replica
+        return self.cluster.hosts[self.replica_id]
+
+    def _issue_txn(self, txn: Transaction, issue_time: Optional[float] = None) -> None:
+        """Issue a multi-key transaction to the bound node's 2PC coordinator.
+
+        ``issue_time`` may lie in the future (the closed loop's collapsed
+        completion chain); the hand-off enters the node's arrival inbox at
+        ``issue_time + request_latency`` like any other client request.
+        """
+        self.issued += 1
+        sim_now = self._sim._now
+        if issue_time is None:
+            issue_time = sim_now
+        if self.history is not None:
+            self.history.invoke_txn(txn, issue_time)
+        request_lat, response_lat = self._draw_latencies()
+        submit = ClientTxnSubmit(txn, partial(self._record_txn, issue_time, response_lat))
+        config = self.cluster.config.replica
+        size = ops_wire_size(txn.ops, config.key_size, config.value_size)
+        node = self._txn_node()
+        arrival = issue_time + request_lat
+        if arrival > sim_now:
+            node.submit_local_at(arrival, submit, size_bytes=size)
+        else:
+            node.submit_local(submit, size_bytes=size)
+
+    def _record_txn(self, start: float, response_lat: float, txn: Transaction, outcome: TxnOutcome) -> None:
+        end = self._sim._now + response_lat
+        status = outcome.status
+        if self.history is not None:
+            self.history.respond_txn(txn, end, status, outcome.values, outcome.commit_times)
+        self.completed += 1
+        if status is OpStatus.OK:
+            self.txns_committed += 1
+        else:
+            if status is OpStatus.ABORTED:
+                self.aborted += 1
+            self.txns_aborted += 1
+        committed = status is OpStatus.OK
+        served_by = self.replica_id
+        for op in txn.ops:
+            if committed:
+                value = outcome.values.get(op.op_id) if op.op_type is OpType.READ else op.value
+            else:
+                value = None
+            self.results.append(
+                OperationResult(
+                    op=op,
+                    status=status,
+                    value=value,
+                    start_time=start,
+                    end_time=end,
+                    served_by=served_by,
+                )
+            )
+        self._completion_chain(response_lat)
+        if not self._wants_completion_hook:
+            return
+        if response_lat > 0:
+            self.cluster.sim.schedule(response_lat, self.on_complete, txn.ops[0], status, None)
+        else:
+            self.on_complete(txn.ops[0], status, None)
 
     def _submit(self, op: Operation, start: float) -> None:
         self._replica_for(op).submit(op, partial(self._record, start, 0.0))
@@ -230,8 +315,11 @@ class ClosedLoopClient(ClientSession):
         if self.history is not None:
             sim.schedule_at(issue_time, self._issue_next)
             return
-        self.issued += 1
         op = self.workload.next_operation(self.client_id)
+        if op.__class__ is Transaction:
+            self._issue_txn(op, issue_time)
+            return
+        self.issued += 1
         request_lat, next_response_lat = self._draw_latencies()
         if request_lat > 0 or issue_time > sim._now:
             self._replica_for(op).submit_at(

@@ -298,3 +298,18 @@ class Cluster:
     def total_stat(self, attribute: str) -> int:
         """Sum an integer statistic attribute across all (shard) replicas."""
         return sum(getattr(replica, attribute, 0) for replica in self.all_replicas())
+
+    def txn_stat(self, attribute: str) -> int:
+        """Sum a transaction-coordinator statistic across all nodes.
+
+        Coordinators are created lazily on the node a transaction is first
+        submitted to (see :mod:`repro.cluster.txn`); nodes that never
+        coordinated a transaction contribute zero.
+        """
+        nodes = self.hosts.values() if self.sharded else self.replicas.values()
+        total = 0
+        for node in nodes:
+            coordinator = node._txn_coordinator
+            if coordinator is not None:
+                total += getattr(coordinator, attribute, 0)
+        return total

@@ -25,6 +25,13 @@ Two pieces implement it:
 
 ``shards=1`` deployments bypass this module entirely — the cluster builds
 the exact unsharded structure, keeping artifacts byte-identical.
+
+Shards are independent protocol groups; *cross-shard* multi-key operations
+are provided by the transaction layer on top (:mod:`repro.cluster.txn`).
+Its messages ride the same ``(shard_id, inner)`` envelopes: participant
+messages dispatch to the owning shard's guest replica like protocol
+traffic, while client transaction hand-offs (which are not tuples) route to
+the host's per-node 2PC coordinator.
 """
 
 from __future__ import annotations
@@ -107,5 +114,12 @@ class ShardHost(NodeProcess):
         self.shard_replicas[shard].on_message(src, inner)
 
     def on_local_work(self, work: Any) -> None:
+        if type(work) is not tuple:
+            # A client transaction hand-off for this node's 2PC coordinator
+            # (shard-bound work always arrives as (shard, inner) tuples).
+            from repro.cluster.txn import handle_host_txn_work
+
+            handle_host_txn_work(self, work)
+            return
         shard, inner = work
         self.shard_replicas[shard].on_local_work(inner)

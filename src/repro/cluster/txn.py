@@ -1,0 +1,814 @@
+"""Cross-shard multi-key transactions: two-phase commit over shard groups.
+
+The replication protocols in this library are single-key linearizable, and
+key-range sharding (:mod:`repro.cluster.sharding`) keeps shards fully
+independent. This module layers *multi-key transactions* on top: a client
+submits a :class:`~repro.types.Transaction` (several reads/writes whose keys
+may span shards) and the cluster executes it atomically with respect to
+other transactions.
+
+Roles
+-----
+
+* **Coordinator** (:class:`TxnCoordinator`) — one per simulated node,
+  created lazily on the node a client session is bound to. It groups the
+  transaction's operations by shard, drives the commit protocol, and
+  invokes the client callback with a :class:`TxnOutcome`.
+* **Participant** (:class:`TxnParticipant`) — one per *lock-master replica*.
+  Every shard designates one replica of its group as the lock master (the
+  first node of the shard's rotated role ring, like a ZAB leader or chain
+  head), and all transactions touching that shard acquire their key locks
+  there. A common lock point per shard is what serializes conflicting
+  transactions regardless of which node coordinates them.
+
+Protocol
+--------
+
+Single-shard transactions take a **fast path**: one ``TxnSingle`` message to
+the shard's lock master, which locks the keys, performs the reads, applies
+the writes through the shard's normal replication path, releases, and
+replies — no 2PC round.
+
+Cross-shard transactions run two-phase commit:
+
+1. **PREPARE** — the coordinator sends each involved shard's lock master a
+   ``TxnPrepare`` with that shard's operations. The participant acquires
+   per-key locks with **no-wait** semantics (a conflicting lock makes it
+   vote NO immediately; no lock waiting means no distributed deadlock),
+   executes the shard's reads through the protocol's normal read path, and
+   votes YES with the read results.
+2. **COMMIT / ABORT** — all-YES commits: participants apply their writes
+   through the protocol's normal (replicated) write path, release their
+   locks, and acknowledge with per-write commit instants. Any NO aborts:
+   YES-voters release their locks and nothing is applied.
+
+Messages between coordinator and participants ride the existing transports:
+on sharded clusters they travel as ``(shard, message)`` envelopes over the
+batched per-node inbox exactly like protocol traffic (see
+:class:`repro.cluster.sharding.ShardHost`); a participant co-located with
+the coordinator is reached through the node's local-work queue (CPU charged,
+no wire bytes).
+
+Failure handling is timeout-based and deterministic under the seeded
+simulation: participants abort a prepared transaction (releasing its locks)
+if no decision arrives within ``prepare_timeout`` — the coordinator's node
+crashed mid-protocol — and coordinators abort a transaction whose votes or
+acks never arrive within ``timeout`` (a lock-master crash). Both timeouts
+are orders of magnitude above the simulated round-trip times, so they fire
+only on real crashes. A coordinator that crashes *after* sending COMMIT to
+some participants may leave the transaction partially applied; its client
+callback is lost with the node, so the transaction is never reported
+committed — the atomicity checker only constrains transactions whose
+clients observed a response.
+
+Consistency model: transactions are serializable **with respect to each
+other** (strict two-phase locking at per-shard lock masters). Plain
+single-key operations remain linearizable per key; those submitted at the
+lock master additionally queue behind that shard's key locks, but plain
+writes coordinated by *other* replicas of the group are not ordered against
+in-flight transactions beyond per-key linearizability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.sharding import ShardRouter
+from repro.errors import ConfigurationError
+from repro.rpc.wings import DirectTransport
+from repro.types import (
+    Key,
+    NodeId,
+    Operation,
+    OpStatus,
+    OpType,
+    Transaction,
+    TxnMessage,
+    Value,
+)
+
+#: A client-facing transaction completion callback:
+#: ``callback(txn, outcome)``.
+TxnCallback = Callable[[Transaction, "TxnOutcome"], None]
+
+#: Participant-side decision timeout (seconds): a prepared transaction whose
+#: COMMIT/ABORT never arrives is aborted and its locks released. ~1000x the
+#: simulated network round trip, so it fires only when the coordinator's
+#: node actually crashed.
+DEFAULT_PREPARE_TIMEOUT = 5e-3
+
+#: Coordinator-side transaction timeout (seconds): votes or acks that never
+#: arrive (a crashed lock master) abort the transaction client-side. Kept
+#: below the participant timeout so the coordinator decides first.
+DEFAULT_COORDINATOR_TIMEOUT = 2.5e-3
+
+#: Fixed wire overhead (bytes) of the small control messages (ids, flags).
+_CONTROL_BYTES = 24
+
+
+# --------------------------------------------------------------- messages
+@dataclass
+class TxnPrepare(TxnMessage):
+    """Phase-1 request: lock ``ops``'s keys on one shard and vote."""
+
+    txn_id: int
+    coordinator: NodeId
+    shard: int
+    ops: List[Operation]
+
+
+@dataclass
+class TxnVote(TxnMessage):
+    """Phase-1 reply: YES (with read results) or NO (lock conflict/failure)."""
+
+    txn_id: int
+    shard: int
+    yes: bool
+    values: Dict[int, Value] = field(default_factory=dict)
+
+
+@dataclass
+class TxnDecision(TxnMessage):
+    """Phase-2 request: commit (apply buffered writes) or abort."""
+
+    txn_id: int
+    shard: int
+    commit: bool
+
+
+@dataclass
+class TxnAck(TxnMessage):
+    """Phase-2 reply: the shard finished applying (or discarding) the txn.
+
+    ``commit_times`` maps each applied write's op id to the simulated
+    instant its replicated update committed at the lock master — the
+    per-key version order the atomicity checker relies on.
+    """
+
+    txn_id: int
+    shard: int
+    committed: bool
+    commit_times: Dict[int, float] = field(default_factory=dict)
+
+
+@dataclass
+class TxnSingle(TxnMessage):
+    """Single-shard fast path: lock, read, apply, release in one visit."""
+
+    txn_id: int
+    coordinator: NodeId
+    shard: int
+    ops: List[Operation]
+
+
+@dataclass
+class TxnSingleReply(TxnMessage):
+    """Fast-path reply: committed (with results) or aborted on conflict."""
+
+    txn_id: int
+    committed: bool
+    values: Dict[int, Value] = field(default_factory=dict)
+    commit_times: Dict[int, float] = field(default_factory=dict)
+
+
+class ClientTxnSubmit(TxnMessage):
+    """A client's transaction hand-off to its bound node (never on the wire)."""
+
+    __slots__ = ("txn", "callback")
+
+    def __init__(self, txn: Transaction, callback: TxnCallback) -> None:
+        self.txn = txn
+        self.callback = callback
+
+
+class TxnOutcome:
+    """What a completed transaction reports back to the client.
+
+    Attributes:
+        status: ``OK`` (committed), ``ABORTED`` (lock conflict or a
+            participant failure) or ``TIMEOUT`` (a crash stalled the
+            protocol past the coordinator timeout).
+        values: Read results by op id (committed transactions only).
+        commit_times: Simulated commit instant of each applied write by op
+            id, as reported by the lock masters.
+    """
+
+    __slots__ = ("status", "values", "commit_times")
+
+    def __init__(
+        self,
+        status: OpStatus,
+        values: Optional[Dict[int, Value]] = None,
+        commit_times: Optional[Dict[int, float]] = None,
+    ) -> None:
+        self.status = status
+        self.values = values if values is not None else {}
+        self.commit_times = commit_times if commit_times is not None else {}
+
+    @property
+    def committed(self) -> bool:
+        """Whether the transaction committed."""
+        return self.status is OpStatus.OK
+
+
+def ops_wire_size(ops: List[Operation], key_size: int, value_size: int) -> int:
+    """Approximate wire size of a batch of operations (keys + write payloads)."""
+    size = 0
+    for op in ops:
+        size += key_size
+        if op.op_type is not OpType.READ:
+            size += value_size
+    return size
+
+
+# ------------------------------------------------------------- participant
+class _ParticipantTxn:
+    """Lock-master-side state of one prepared/executing transaction."""
+
+    __slots__ = (
+        "txn_id",
+        "coordinator",
+        "shard",
+        "keys",
+        "writes",
+        "values",
+        "commit_times",
+        "reads_outstanding",
+        "writes_outstanding",
+        "failed",
+        "voted",
+        "committing",
+        "single",
+        "timer",
+    )
+
+    def __init__(
+        self, txn_id: int, coordinator: NodeId, shard: int, keys: List[Key]
+    ) -> None:
+        self.txn_id = txn_id
+        self.coordinator = coordinator
+        self.shard = shard
+        self.keys = keys
+        self.writes: List[Operation] = []
+        self.values: Dict[int, Value] = {}
+        self.commit_times: Dict[int, float] = {}
+        self.reads_outstanding = 0
+        self.writes_outstanding = 0
+        self.failed = False
+        self.voted = False
+        self.committing = False
+        self.single = False
+        self.timer = None
+
+
+class TxnParticipant:
+    """The lock-master side of the transaction layer, one per replica.
+
+    Owns the shard's key-lock table and the prepared-transaction state.
+    Created lazily by :func:`participant_of` on the first transaction
+    message a replica receives, so transaction-free runs carry no state
+    and pay no per-operation cost beyond a ``None`` check.
+    """
+
+    def __init__(self, replica: Any, prepare_timeout: float = DEFAULT_PREPARE_TIMEOUT) -> None:
+        self.replica = replica
+        self.prepare_timeout = prepare_timeout
+        #: Key -> owning txn id. Non-empty only while transactions are in
+        #: flight; plain operations submitted at this replica queue behind
+        #: these locks (see ``ReplicaNode.on_local_work``).
+        self.locks: Dict[Key, int] = {}
+        #: Plain operations parked behind a locked key.
+        self.waiters: Dict[Key, List[Tuple[Operation, Any]]] = {}
+        #: Txn id -> in-flight state.
+        self.prepared: Dict[int, _ParticipantTxn] = {}
+        # Statistics.
+        self.prepares_received = 0
+        self.conflicts = 0
+        self.prepare_timeouts = 0
+        self.ops_parked = 0
+        self.write_failures = 0
+
+    # ----------------------------------------------------------- dispatch
+    def handle(self, message: TxnMessage) -> None:
+        """Dispatch one participant-bound transaction message."""
+        cls = message.__class__
+        if cls is TxnPrepare:
+            self._on_prepare(message)
+        elif cls is TxnDecision:
+            self._on_decision(message)
+        elif cls is TxnSingle:
+            self._on_single(message)
+
+    def park(self, op: Operation, callback: Any) -> None:
+        """Queue a plain operation behind the lock on its key."""
+        self.ops_parked += 1
+        self.waiters.setdefault(op.key, []).append((op, callback))
+
+    # ------------------------------------------------------------ phase 1
+    def _try_lock(self, txn_id: int, ops: List[Operation]) -> Optional[List[Key]]:
+        """No-wait lock acquisition: all keys or none."""
+        locks = self.locks
+        keys: List[Key] = []
+        for op in ops:
+            key = op.key
+            if key in keys:
+                continue
+            if key in locks:
+                self.conflicts += 1
+                return None
+            keys.append(key)
+        for key in keys:
+            locks[key] = txn_id
+        return keys
+
+    def _on_prepare(self, msg: TxnPrepare) -> None:
+        self.prepares_received += 1
+        replica = self.replica
+        txn_id = msg.txn_id
+        if not replica.is_operational():
+            self._send_to(msg.coordinator, TxnVote(txn_id, msg.shard, False), _CONTROL_BYTES)
+            return
+        keys = self._try_lock(txn_id, msg.ops)
+        if keys is None:
+            self._send_to(msg.coordinator, TxnVote(txn_id, msg.shard, False), _CONTROL_BYTES)
+            return
+        state = _ParticipantTxn(txn_id, msg.coordinator, msg.shard, keys)
+        state.writes = [op for op in msg.ops if op.op_type is not OpType.READ]
+        self.prepared[txn_id] = state
+        state.timer = replica.set_timer(self.prepare_timeout, self._prepare_expired, txn_id)
+        self._start_reads(state, [op for op in msg.ops if op.op_type is OpType.READ])
+
+    def _start_reads(self, state: _ParticipantTxn, reads: List[Operation]) -> None:
+        state.reads_outstanding = len(reads)
+        if not reads:
+            self._reads_done(state)
+            return
+        replica = self.replica
+        for op in reads:
+            replica.handle_client_op(op, partial(self._read_done, state.txn_id))
+        self._flush()
+
+    def _read_done(self, txn_id: int, op: Operation, status: OpStatus, value: Value) -> None:
+        state = self.prepared.get(txn_id)
+        if state is None or state.voted:
+            return
+        if status is OpStatus.OK:
+            state.values[op.op_id] = value
+        else:
+            state.failed = True
+        state.reads_outstanding -= 1
+        if state.reads_outstanding == 0:
+            self._reads_done(state)
+
+    def _reads_done(self, state: _ParticipantTxn) -> None:
+        state.voted = True
+        if state.failed:
+            self._teardown(state)
+            reply: TxnMessage = (
+                TxnSingleReply(state.txn_id, False)
+                if state.single
+                else TxnVote(state.txn_id, state.shard, False)
+            )
+            self._send_to(state.coordinator, reply, _CONTROL_BYTES)
+            return
+        if state.single:
+            self._start_writes(state)
+            return
+        config = self.replica.config
+        size = _CONTROL_BYTES + len(state.values) * config.value_size
+        self._send_to(
+            state.coordinator,
+            TxnVote(state.txn_id, state.shard, True, dict(state.values)),
+            size,
+        )
+
+    # ------------------------------------------------------------ phase 2
+    def _on_decision(self, msg: TxnDecision) -> None:
+        state = self.prepared.get(msg.txn_id)
+        if state is None:
+            # Already aborted locally: the prepare timed out (coordinator
+            # crash) before this decision arrived, or the coordinator's own
+            # timeout aborted a transaction this shard voted NO on (it holds
+            # no locks). Nothing to apply or release; the coordinator has
+            # already resolved the transaction client-side.
+            return
+        if state.committing:
+            # Writes are already being applied (e.g. a coordinator-timeout
+            # abort racing a fast-path commit): commits are unconditional
+            # once started, so the late decision is ignored.
+            return
+        if not msg.commit:
+            self._teardown(state)
+            self._send_to(state.coordinator, TxnAck(state.txn_id, state.shard, False), _CONTROL_BYTES)
+            return
+        self._start_writes(state)
+
+    def _start_writes(self, state: _ParticipantTxn) -> None:
+        state.committing = True
+        if state.timer is not None:
+            state.timer.cancel()
+        writes = state.writes
+        state.writes_outstanding = len(writes)
+        if not writes:
+            self._writes_done(state)
+            return
+        replica = self.replica
+        for op in writes:
+            replica.handle_client_op(op, partial(self._write_done, state.txn_id))
+        self._flush()
+
+    def _write_done(self, txn_id: int, op: Operation, status: OpStatus, value: Value) -> None:
+        state = self.prepared.get(txn_id)
+        if state is None:
+            return
+        if status is OpStatus.OK:
+            state.commit_times[op.op_id] = self.replica.sim.now
+        else:
+            # Plain replicated writes only fail when the replica stops being
+            # operational mid-commit; the update was not applied, so it must
+            # not enter the per-key version order.
+            self.write_failures += 1
+        state.writes_outstanding -= 1
+        if state.writes_outstanding == 0:
+            self._writes_done(state)
+
+    def _writes_done(self, state: _ParticipantTxn) -> None:
+        self._teardown(state)
+        size = _CONTROL_BYTES + 8 * len(state.commit_times)
+        if state.single:
+            reply = TxnSingleReply(
+                state.txn_id, True, dict(state.values), dict(state.commit_times)
+            )
+            self._send_to(state.coordinator, reply, size + len(state.values) * 8)
+        else:
+            self._send_to(
+                state.coordinator,
+                TxnAck(state.txn_id, state.shard, True, dict(state.commit_times)),
+                size,
+            )
+
+    # ----------------------------------------------------------- fast path
+    def _on_single(self, msg: TxnSingle) -> None:
+        self.prepares_received += 1
+        replica = self.replica
+        if not replica.is_operational():
+            self._send_to(msg.coordinator, TxnSingleReply(msg.txn_id, False), _CONTROL_BYTES)
+            return
+        keys = self._try_lock(msg.txn_id, msg.ops)
+        if keys is None:
+            self._send_to(msg.coordinator, TxnSingleReply(msg.txn_id, False), _CONTROL_BYTES)
+            return
+        state = _ParticipantTxn(msg.txn_id, msg.coordinator, msg.shard, keys)
+        state.single = True
+        state.writes = [op for op in msg.ops if op.op_type is not OpType.READ]
+        self.prepared[msg.txn_id] = state
+        state.timer = replica.set_timer(self.prepare_timeout, self._prepare_expired, msg.txn_id)
+        self._start_reads(state, [op for op in msg.ops if op.op_type is OpType.READ])
+
+    # ------------------------------------------------------------ timeouts
+    def _prepare_expired(self, txn_id: int) -> None:
+        state = self.prepared.get(txn_id)
+        if state is None or state.committing:
+            # Committing transactions finish unconditionally (their timer
+            # was cancelled; this guards a same-instant race).
+            return
+        self.prepare_timeouts += 1
+        self._teardown(state)
+
+    # ------------------------------------------------------------- helpers
+    def _teardown(self, state: _ParticipantTxn) -> None:
+        """The single exit path of a prepared transaction at this shard.
+
+        Cancels the decision timer, drops the prepared state, releases the
+        transaction's locks and resumes plain operations parked on them —
+        in that order, so resumed work can never observe the transaction
+        as still prepared. Callers send their protocol reply afterwards.
+        """
+        if state.timer is not None:
+            state.timer.cancel()
+        self.prepared.pop(state.txn_id, None)
+        self._release(state)
+
+    def _release(self, state: _ParticipantTxn) -> None:
+        """Release the transaction's locks and resume parked plain ops."""
+        locks = self.locks
+        waiters = self.waiters
+        resumed: List[Tuple[Operation, Any]] = []
+        for key in state.keys:
+            if locks.get(key) == state.txn_id:
+                del locks[key]
+            parked = waiters.pop(key, None)
+            if parked:
+                resumed.extend(parked)
+        if not resumed:
+            return
+        replica = self.replica
+        for op, callback in resumed:
+            if op.key in locks:  # re-locked while draining
+                waiters.setdefault(op.key, []).append((op, callback))
+            else:
+                replica.handle_client_op(op, callback)
+        self._flush()
+
+    def _send_to(self, dst: NodeId, message: TxnMessage, size: int) -> None:
+        """Send to a node; a self-send goes through the local work queue.
+
+        ``replica.send``/``submit_local`` transparently add the
+        ``(shard, message)`` envelope on sharded clusters (guest mode).
+        """
+        replica = self.replica
+        if dst == replica.node_id:
+            replica.submit_local(message, size_bytes=size)
+        else:
+            replica.send(dst, message, size_bytes=size)
+
+    def _flush(self) -> None:
+        transport = self.replica.transport
+        if type(transport) is not DirectTransport:
+            transport.flush()
+
+
+def participant_of(replica: Any) -> TxnParticipant:
+    """The replica's lock-master participant, created on first use."""
+    participant = replica._txn_participant
+    if participant is None:
+        participant = replica._txn_participant = TxnParticipant(replica)
+    return participant
+
+
+# ------------------------------------------------------------ coordinator
+class _CoordinatorTxn:
+    """Coordinator-side state of one in-flight transaction."""
+
+    __slots__ = (
+        "txn",
+        "callback",
+        "by_shard",
+        "awaiting_votes",
+        "awaiting_acks",
+        "values",
+        "commit_times",
+        "no_vote",
+        "decided_commit",
+        "timer",
+    )
+
+    def __init__(self, txn: Transaction, callback: TxnCallback, by_shard: Dict[int, List[Operation]]):
+        self.txn = txn
+        self.callback = callback
+        self.by_shard = by_shard
+        self.awaiting_votes: Set[int] = set()
+        self.awaiting_acks: Set[int] = set()
+        self.values: Dict[int, Value] = {}
+        self.commit_times: Dict[int, float] = {}
+        self.no_vote = False
+        self.decided_commit = False
+        self.timer = None
+
+
+class TxnCoordinator:
+    """Per-node two-phase-commit coordinator for client transactions.
+
+    Constructed lazily (:func:`coordinator_of`) on the node a transaction
+    is first submitted to — a :class:`~repro.cluster.sharding.ShardHost` on
+    sharded clusters, the replica itself on unsharded ones.
+    """
+
+    def __init__(self, node: Any, timeout: float = DEFAULT_COORDINATOR_TIMEOUT) -> None:
+        self.node = node
+        self.timeout = timeout
+        guests = getattr(node, "shard_replicas", None)
+        if isinstance(guests, list) and guests:
+            self._sharded = True
+            reference = guests[0]
+            self.num_shards = len(guests)
+        else:
+            self._sharded = False
+            reference = node
+            self.num_shards = 1
+        self._router = ShardRouter(self.num_shards)
+        self._reference = reference
+        # masters cache, invalidated by view-object identity (views are
+        # frozen; every membership change installs a new one) — all
+        # coordinators therefore agree on lock placement for a given view,
+        # whenever they were created.
+        self._masters_view = None
+        self._masters: List[NodeId] = []
+        self._key_size = reference.config.key_size
+        self._value_size = reference.config.value_size
+        self._active: Dict[int, _CoordinatorTxn] = {}
+        # Statistics (summed across nodes by ``Cluster.txn_stat``).
+        self.txns_started = 0
+        self.txns_committed = 0
+        self.txns_aborted = 0
+        self.txns_timedout = 0
+        self.txns_fastpath = 0
+        self.txns_cross_shard = 0
+
+    @property
+    def masters(self) -> List[NodeId]:
+        """Shard -> lock-master node id, under the current membership view.
+
+        The first node of each shard's rotated role ring (matching
+        ``ReplicaNode.role_ring``), so lock mastership spreads across nodes
+        exactly like the protocols' placed roles — and moves with them on a
+        membership change. Transactions in flight across a view change are
+        resolved by the timeouts (the old master's prepared state aborts).
+        """
+        view = self._reference.view
+        if view is not self._masters_view:
+            self._masters_view = view
+            members = sorted(view.members)
+            self._masters = [
+                members[shard % len(members)] for shard in range(self.num_shards)
+            ]
+        return self._masters
+
+    # -------------------------------------------------------------- client
+    def begin(self, txn: Transaction, callback: TxnCallback) -> None:
+        """Start executing a client transaction.
+
+        Raises:
+            ConfigurationError: if the transaction contains an RMW. The
+                commit phase applies buffered updates unconditionally, and
+                an RMW can lose its conflict resolution *after* the commit
+                decision — votes would no longer mean what 2PC requires.
+                Express conditional updates as a transactional read plus a
+                write, which the key locks make atomic.
+        """
+        for op in txn.ops:
+            if op.op_type is OpType.RMW:
+                raise ConfigurationError(
+                    "transactions support reads and writes only; "
+                    f"operation {op.op_id} is an RMW"
+                )
+        self.txns_started += 1
+        shard_of = self._router.shard_of
+        by_shard: Dict[int, List[Operation]] = {}
+        for op in txn.ops:
+            by_shard.setdefault(shard_of(op.key), []).append(op)
+        state = _CoordinatorTxn(txn, callback, by_shard)
+        self._active[txn.txn_id] = state
+        state.timer = self.node.set_timer(self.timeout, self._expired, txn.txn_id)
+        if len(by_shard) == 1:
+            self.txns_fastpath += 1
+            ((shard, ops),) = by_shard.items()
+            self._dispatch(
+                shard,
+                TxnSingle(txn.txn_id, self.node.node_id, shard, ops),
+                ops_wire_size(ops, self._key_size, self._value_size),
+            )
+            return
+        self.txns_cross_shard += 1
+        state.awaiting_votes = set(by_shard)
+        for shard, ops in by_shard.items():
+            self._dispatch(
+                shard,
+                TxnPrepare(txn.txn_id, self.node.node_id, shard, ops),
+                ops_wire_size(ops, self._key_size, self._value_size),
+            )
+
+    # ------------------------------------------------------------ dispatch
+    def handle(self, message: TxnMessage) -> None:
+        """Dispatch one coordinator-bound transaction message."""
+        cls = message.__class__
+        if cls is TxnVote:
+            self._on_vote(message)
+        elif cls is TxnAck:
+            self._on_ack(message)
+        elif cls is TxnSingleReply:
+            self._on_single_reply(message)
+
+    def _dispatch(self, shard: int, message: TxnMessage, size: int) -> None:
+        master = self.masters[shard]
+        node = self.node
+        payload: Any = (shard, message) if self._sharded else message
+        if master == node.node_id:
+            node.submit_local(payload, size_bytes=size)
+        else:
+            node.send(master, payload, size_bytes=size)
+
+    # ---------------------------------------------------------------- 2PC
+    def _on_vote(self, msg: TxnVote) -> None:
+        state = self._active.get(msg.txn_id)
+        if state is None or msg.shard not in state.awaiting_votes:
+            return
+        state.awaiting_votes.discard(msg.shard)
+        if msg.yes:
+            state.values.update(msg.values)
+        else:
+            state.no_vote = True
+        if state.awaiting_votes:
+            return
+        if state.no_vote:
+            # Abort: release YES-voters. NO-voters hold no locks. The acks
+            # for aborts carry nothing the client needs, so the transaction
+            # completes now.
+            for shard in state.by_shard:
+                self._dispatch(shard, TxnDecision(msg.txn_id, shard, False), _CONTROL_BYTES)
+            self._complete(state, OpStatus.ABORTED)
+            return
+        state.decided_commit = True
+        state.awaiting_acks = set(state.by_shard)
+        for shard in state.by_shard:
+            self._dispatch(shard, TxnDecision(msg.txn_id, shard, True), _CONTROL_BYTES)
+
+    def _on_ack(self, msg: TxnAck) -> None:
+        state = self._active.get(msg.txn_id)
+        if state is None or msg.shard not in state.awaiting_acks:
+            return
+        state.awaiting_acks.discard(msg.shard)
+        state.commit_times.update(msg.commit_times)
+        if not state.awaiting_acks:
+            self._complete(state, OpStatus.OK)
+
+    def _on_single_reply(self, msg: TxnSingleReply) -> None:
+        state = self._active.get(msg.txn_id)
+        if state is None:
+            return
+        if msg.committed:
+            state.values.update(msg.values)
+            state.commit_times.update(msg.commit_times)
+            self._complete(state, OpStatus.OK)
+        else:
+            self._complete(state, OpStatus.ABORTED)
+
+    def _expired(self, txn_id: int) -> None:
+        state = self._active.get(txn_id)
+        if state is None:
+            return
+        if not state.decided_commit:
+            # No commit was ever decided: YES-voters release their locks
+            # and nothing was applied anywhere.
+            for shard in state.by_shard:
+                self._dispatch(shard, TxnDecision(txn_id, shard, False), _CONTROL_BYTES)
+        # Either way the outcome is TIMEOUT, not OK: with a commit decided
+        # but unacked, a crashed lock master may never have applied its
+        # writes, so the transaction cannot be reported atomically
+        # committed. TIMEOUT marks it *indeterminate* — the atomicity
+        # checker constrains neither its visibility nor its invisibility
+        # (like an operation that never returned).
+        self._complete(state, OpStatus.TIMEOUT)
+
+    def _complete(self, state: _CoordinatorTxn, status: OpStatus) -> None:
+        if state.timer is not None:
+            state.timer.cancel()
+        del self._active[state.txn.txn_id]
+        if status is OpStatus.OK:
+            self.txns_committed += 1
+        elif status is OpStatus.ABORTED:
+            self.txns_aborted += 1
+        else:
+            self.txns_timedout += 1
+        state.callback(state.txn, TxnOutcome(status, state.values, state.commit_times))
+
+    @property
+    def active_txns(self) -> int:
+        """Number of transactions currently in flight at this coordinator."""
+        return len(self._active)
+
+
+def coordinator_of(node: Any) -> TxnCoordinator:
+    """The node's transaction coordinator, created on first use."""
+    coordinator = node._txn_coordinator
+    if coordinator is None:
+        coordinator = node._txn_coordinator = TxnCoordinator(node)
+    return coordinator
+
+
+def handle_txn_work(replica: Any, work: Any) -> None:
+    """Entry point for non-tuple local work items on a replica.
+
+    Routes a :class:`ClientTxnSubmit` to the node's coordinator and any
+    other transaction message to the participant/coordinator it addresses.
+    """
+    if work.__class__ is ClientTxnSubmit:
+        host = replica._host
+        coordinator_of(host if host is not None else replica).begin(work.txn, work.callback)
+        return
+    handle_txn_message(replica, work)
+
+
+def handle_txn_message(replica: Any, message: TxnMessage) -> None:
+    """Dispatch a transaction message delivered to a replica.
+
+    Participant-bound messages (prepare/decision/fast path) go to the
+    replica's own lock-master participant; coordinator-bound replies go to
+    the coordinator of the replica's *node* (the host on sharded clusters).
+    """
+    cls = message.__class__
+    if cls is TxnPrepare or cls is TxnDecision or cls is TxnSingle:
+        participant_of(replica).handle(message)
+        return
+    host = replica._host
+    coordinator = (host if host is not None else replica)._txn_coordinator
+    if coordinator is not None:
+        coordinator.handle(message)
+
+
+def handle_host_txn_work(host: Any, work: Any) -> None:
+    """Entry point for non-tuple local work items on a :class:`ShardHost`."""
+    if work.__class__ is ClientTxnSubmit:
+        coordinator_of(host).begin(work.txn, work.callback)

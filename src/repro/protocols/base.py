@@ -32,7 +32,7 @@ from repro.sim.engine import Simulator
 from repro.sim.network import Network
 from repro.sim.node import NodeProcess, ServiceTimeModel
 from repro.sim.trace import Tracer
-from repro.types import Key, NodeId, Operation, OpStatus, OpType, Value
+from repro.types import Key, NodeId, Operation, OpStatus, OpType, TxnMessage, Value
 
 #: Completion callback invoked by a replica when an operation finishes:
 #: ``callback(op, status, value)``.
@@ -133,6 +133,11 @@ class ReplicaNode(NodeProcess):
             on_view_change=self._view_changed,
             static_lease=True,
         )
+        #: Transaction-layer state (see :mod:`repro.cluster.txn`): the
+        #: lock-master participant is created lazily on the first
+        #: transaction message, so transaction-free runs pay only this
+        #: ``None`` check per client operation.
+        self._txn_participant = None
         #: Counters exposed to the analysis layer.
         self.ops_completed = 0
         self.reads_served_locally = 0
@@ -175,9 +180,24 @@ class ReplicaNode(NodeProcess):
 
     # -------------------------------------------------- NodeProcess plumbing
     def on_local_work(self, work: Tuple[Operation, ClientCallback]) -> None:
+        if type(work) is not tuple:
+            # Transaction-layer work item (a client transaction hand-off or
+            # a locally dispatched 2PC message); plain client operations
+            # always arrive as (op, callback) tuples.
+            from repro.cluster.txn import handle_txn_work
+
+            handle_txn_work(self, work)
+            return
         op, callback = work
         if not self.is_operational():
             self.complete(op, callback, OpStatus.UNAVAILABLE)
+            return
+        participant = self._txn_participant
+        if participant is not None and participant.locks and op.key in participant.locks:
+            # The key is locked by an in-flight transaction at this lock
+            # master: queue behind the lock (released when the transaction
+            # commits or aborts) instead of interleaving with it.
+            participant.park(op, callback)
             return
         self.handle_client_op(op, callback)
         transport = self.transport
@@ -192,6 +212,8 @@ class ReplicaNode(NodeProcess):
             if isinstance(message, MembershipMessage):
                 self.membership_agent.handle(src, message)
                 self.view = self.membership_agent.view
+            elif isinstance(message, TxnMessage):
+                self._handle_txn_message(message)
             else:
                 self.handle_protocol_message(src, message)
             return
@@ -199,9 +221,17 @@ class ReplicaNode(NodeProcess):
             if isinstance(inner, MembershipMessage):
                 self.membership_agent.handle(src, inner)
                 self.view = self.membership_agent.view
+            elif isinstance(inner, TxnMessage):
+                self._handle_txn_message(inner)
             else:
                 self.handle_protocol_message(src, inner)
         transport.flush()
+
+    def _handle_txn_message(self, message: TxnMessage) -> None:
+        """Route a transaction-layer message (see :mod:`repro.cluster.txn`)."""
+        from repro.cluster.txn import handle_txn_message
+
+        handle_txn_message(self, message)
 
     # ------------------------------------------------------------ overrides
     def handle_client_op(self, op: Operation, callback: ClientCallback) -> None:

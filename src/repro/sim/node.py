@@ -72,6 +72,33 @@ the right guest (see :class:`repro.cluster.sharding.ShardHost`). Crash
 state lives on the host: crashing the host silences every guest at once.
 The delegating closures are installed as instance attributes only when a
 host is given, so the unsharded hot path is untouched.
+
+The full host/guest delegation table (installed by
+:meth:`NodeProcess._enable_guest_mode`):
+
+====================  =======================================================
+guest call            effect
+====================  =======================================================
+``send``              host ``send`` of ``(guest_tag, message)`` — same bytes
+``broadcast``         host ``broadcast`` of ``(guest_tag, message)``
+``submit_local``      host ``submit_local`` of ``(guest_tag, work)``
+``submit_local_at``   host ``submit_local_at`` of ``(guest_tag, work)``
+``charge_send``       host ``charge_send`` (no envelope; CPU is shared)
+``charge_cpu``        host ``charge_cpu`` (no envelope; CPU is shared)
+``set_timer``         host ``set_timer`` (cancelled when the host crashes)
+``crash``/``recover`` host ``crash``/``recover`` (whole-machine semantics)
+``crashed``           mirrors the host's crash flag
+====================  =======================================================
+
+The envelope is routing metadata only (no wire bytes): a real deployment
+demultiplexes incoming traffic by key, and the key already determines the
+shard. Guests never register with the network; a message addressed to the
+node is delivered to the host, which unwraps the envelope and dispatches
+the inner message to ``shard_replicas[tag]``. The transaction layer
+(:mod:`repro.cluster.txn`) rides the same envelopes: its 2PC messages are
+sent through the guest's ``send`` and arrive back through the host's
+dispatch, so cross-shard coordination shares the node's CPU/NIC budget
+exactly like protocol traffic.
 """
 
 from __future__ import annotations
@@ -166,6 +193,9 @@ class NodeProcess:
         self._crashed = False
         self._host = host
         self.guest_tag = guest_tag
+        #: Per-node transaction coordinator (see :mod:`repro.cluster.txn`),
+        #: created lazily on the first transaction submitted at this node.
+        self._txn_coordinator = None
         self.messages_processed = 0
         # Flattened service-model constants for the hot paths (the model is
         # validated at construction and never mutated afterwards).

@@ -106,6 +106,57 @@ class Operation:
         return cls(OpType.RMW, key, value=value, compare=compare, client_id=client_id)
 
 
+@dataclass
+class Transaction:
+    """A multi-key transaction: several operations that commit or abort atomically.
+
+    Transactions are executed by the cluster layer's two-phase-commit
+    coordinator (:mod:`repro.cluster.txn`): the keys of ``ops`` may span
+    key-range shards, in which case each involved shard votes in a PREPARE
+    round before the writes are applied. Single-shard transactions take a
+    one-round fast path. Within a transaction, reads observe the state
+    before the transaction's own writes (no read-your-own-writes), and all
+    writes become visible atomically with respect to other transactions.
+
+    Attributes:
+        ops: The member operations (reads and writes; RMWs are not
+            supported inside transactions).
+        txn_id: Unique identifier, drawn from the operation-id counter.
+        client_id: Identifier of the issuing client session.
+    """
+
+    ops: "list[Operation]"
+    txn_id: int = field(default_factory=next_op_id)
+    client_id: int = 0
+
+    @property
+    def keys(self) -> "list[Key]":
+        """The keys touched by this transaction, in operation order."""
+        return [op.key for op in self.ops]
+
+    @property
+    def read_ops(self) -> "list[Operation]":
+        """The member reads."""
+        return [op for op in self.ops if op.op_type is OpType.READ]
+
+    @property
+    def write_ops(self) -> "list[Operation]":
+        """The member updates."""
+        return [op for op in self.ops if op.op_type is not OpType.READ]
+
+
+class TxnMessage:
+    """Marker base class for transaction-layer messages.
+
+    Lives here (not in :mod:`repro.cluster.txn`) so the protocol base class
+    can recognise transaction traffic with one ``isinstance`` check without
+    importing the cluster package — the concrete message types and the 2PC
+    state machines are defined in :mod:`repro.cluster.txn`.
+    """
+
+    __slots__ = ()
+
+
 @dataclass(slots=True)
 class OperationResult:
     """Outcome of a completed client operation.

@@ -12,22 +12,29 @@ executions:
   histories, including histories produced under fault injection.
 * :mod:`repro.verification.invariants` — cluster-level invariants such as
   replica convergence after quiescence.
+* :mod:`repro.verification.transactions` — multi-key transaction
+  atomicity: aborted transactions invisible, committed transactions free
+  of fractured reads (see :mod:`repro.cluster.txn`).
 """
 
-from repro.verification.history import CompletedOperation, History
+from repro.verification.history import CompletedOperation, History, TransactionRecord
 from repro.verification.invariants import (
     check_no_pending_updates,
     check_replica_convergence,
     check_values_from_history,
 )
 from repro.verification.linearizability import LinearizabilityChecker, check_history
+from repro.verification.transactions import TxnCheckResult, check_transactions
 
 __all__ = [
     "CompletedOperation",
     "History",
     "LinearizabilityChecker",
+    "TransactionRecord",
+    "TxnCheckResult",
     "check_history",
     "check_no_pending_updates",
     "check_replica_convergence",
+    "check_transactions",
     "check_values_from_history",
 ]

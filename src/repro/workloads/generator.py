@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.errors import WorkloadError
-from repro.types import Key, Operation, OpType, Value
+from repro.types import Key, Operation, OpType, Transaction, Value
 from repro.workloads.distributions import KeyDistribution, UniformKeys
 
 #: A callable producing the value for a write: ``factory(key, sequence) -> value``.
@@ -51,6 +51,19 @@ class WorkloadMix:
         value_factory: Optional custom value factory; defaults to unique
             byte payloads of ``value_size`` bytes.
         seed: Base seed; per-client streams derive from it.
+        txn_fraction: Fraction of generated requests that are multi-key
+            transactions (:class:`~repro.types.Transaction`) instead of
+            single operations. ``0.0`` (the default) generates the classic
+            single-op stream — byte-identical to pre-transaction workloads,
+            since the transaction branch then consumes no random draws.
+        txn_keys: Number of distinct keys per generated transaction.
+        txn_cross_shard: Probability that a generated transaction spans at
+            least two shards (its remaining keys are then unconstrained);
+            with the complementary probability all of its keys are drawn
+            from a single shard. Meaningful only when ``txn_num_shards > 1``.
+        txn_num_shards: The deployment's shard count, used to steer key
+            choice across or within shards (keys route exactly like
+            :class:`repro.cluster.sharding.ShardRouter`).
     """
 
     distribution: KeyDistribution
@@ -59,6 +72,10 @@ class WorkloadMix:
     value_size: int = 32
     value_factory: Optional[ValueFactory] = None
     seed: int = 1
+    txn_fraction: float = 0.0
+    txn_keys: int = 2
+    txn_cross_shard: float = 0.0
+    txn_num_shards: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.write_ratio <= 1.0:
@@ -67,10 +84,19 @@ class WorkloadMix:
             raise WorkloadError("rmw_ratio must be within [0, 1]")
         if self.value_size < 1:
             raise WorkloadError("value_size must be >= 1")
+        if not 0.0 <= self.txn_fraction <= 1.0:
+            raise WorkloadError("txn_fraction must be within [0, 1]")
+        if not 0.0 <= self.txn_cross_shard <= 1.0:
+            raise WorkloadError("txn_cross_shard must be within [0, 1]")
+        if self.txn_keys < 1:
+            raise WorkloadError("txn_keys must be >= 1")
+        if self.txn_num_shards < 1:
+            raise WorkloadError("txn_num_shards must be >= 1")
         if self.value_factory is None:
             self.value_factory = sized_value_factory(self.value_size)
         self._client_rngs: Dict[int, random.Random] = {}
         self._client_sequences: Dict[int, int] = {}
+        self._txn_router = None
 
     @classmethod
     def uniform(cls, num_keys: int, write_ratio: float, **kwargs) -> "WorkloadMix":
@@ -86,8 +112,14 @@ class WorkloadMix:
         return rng
 
     def next_operation(self, client_id: int) -> Operation:
-        """Produce the next operation for the given client session."""
+        """Produce the next request for the given client session.
+
+        Returns an :class:`~repro.types.Operation`, or — with probability
+        ``txn_fraction`` — a multi-key :class:`~repro.types.Transaction`.
+        """
         rng = self._rng_for(client_id)
+        if self.txn_fraction and rng.random() < self.txn_fraction:
+            return self._next_transaction(client_id, rng)
         key = self.distribution.sample(rng)
         if rng.random() >= self.write_ratio:
             # Direct construction (not Operation.read): one operation is
@@ -100,6 +132,88 @@ class WorkloadMix:
         if self.rmw_ratio > 0.0 and rng.random() < self.rmw_ratio:
             return Operation.rmw(key, value, client_id=client_id)
         return Operation.write(key, value, client_id=client_id)
+
+    # ---------------------------------------------------------- transactions
+    def _shard_router(self):
+        """The key→shard mapping (lazy import; workloads stay cluster-free)."""
+        router = self._txn_router
+        if router is None:
+            from repro.cluster.sharding import ShardRouter
+
+            router = self._txn_router = ShardRouter(self.txn_num_shards)
+        return router
+
+    def _force_shard(self, key: Key, shard: int) -> Optional[Key]:
+        """Deterministically remap an integer key into ``shard`` (or None)."""
+        if type(key) is not int:
+            return None
+        shards = self.txn_num_shards
+        mapped = key - (key % shards) + shard
+        if mapped >= self.distribution.num_keys:
+            mapped -= shards
+        if mapped < 0:
+            return None
+        return mapped
+
+    def _next_transaction(self, client_id: int, rng: random.Random) -> Transaction:
+        """Draw one multi-key transaction.
+
+        The first key is drawn from the key distribution like any single
+        operation; with probability ``txn_cross_shard`` the second key is
+        steered to a *different* shard (remaining keys unconstrained),
+        otherwise every key is steered to the first key's shard. Steering
+        resamples from the distribution (so skew is preserved) and falls
+        back to a deterministic modular remap when resampling misses.
+        """
+        sample = self.distribution.sample
+        shard_of = self._shard_router().shard_of
+        shards = self.txn_num_shards
+        first = sample(rng)
+        target = shard_of(first)
+        keys = [first]
+        cross = (
+            shards > 1
+            and self.txn_cross_shard > 0.0
+            and rng.random() < self.txn_cross_shard
+        )
+        cross_satisfied = not cross
+        while len(keys) < self.txn_keys:
+            want_other_shard = not cross_satisfied
+            key = None
+            for _ in range(16):
+                candidate = sample(rng)
+                if candidate in keys:
+                    continue
+                candidate_shard = shard_of(candidate)
+                if want_other_shard and candidate_shard == target:
+                    continue
+                if not cross and candidate_shard != target:
+                    continue
+                key = candidate
+                break
+            if key is None:
+                # Resampling missed (e.g. a tiny or heavily skewed key
+                # space): remap the next draw into the needed shard.
+                desired = (target + 1) % shards if want_other_shard else target
+                key = self._force_shard(sample(rng), desired)
+                if key is None or key in keys:
+                    break  # give up on this member; issue a smaller txn
+            if want_other_shard and shard_of(key) != target:
+                cross_satisfied = True
+            keys.append(key)
+        ops = []
+        factory = self.value_factory
+        assert factory is not None
+        for key in keys:
+            if rng.random() < self.write_ratio:
+                sequence = self._client_sequences.get(client_id, 0) + 1
+                self._client_sequences[client_id] = sequence
+                ops.append(
+                    Operation.write(key, factory(key, sequence * 1_000 + client_id), client_id)
+                )
+            else:
+                ops.append(Operation(OpType.READ, key, client_id=client_id))
+        return Transaction(ops=ops, client_id=client_id)
 
     def stream(self, client_id: int, count: int) -> Iterator[Operation]:
         """Yield ``count`` operations for one client."""

@@ -75,6 +75,44 @@ def test_shard_router_rejects_zero_shards():
         ShardRouter(0)
 
 
+def test_shard_router_non_int_routing_is_pinned_across_runs():
+    # The CRC-32-of-repr mapping is part of the persistence contract: a
+    # routing change would silently re-partition preloaded datasets between
+    # code versions. These literals pin the exact current mapping, so any
+    # future change fails loudly here instead.
+    expected = {
+        "alpha": {2: 0, 3: 1, 8: 6},
+        b"beta": {2: 1, 3: 2, 8: 1},
+        ("k", 7): {2: 1, 3: 0, 8: 3},
+        "user:42": {2: 1, 3: 1, 8: 3},
+    }
+    for key, per_shard_count in expected.items():
+        for shards, shard in per_shard_count.items():
+            assert ShardRouter(shards).shard_of(key) == shard, (key, shards)
+
+
+def test_shard_router_shards1_is_the_identity():
+    router = ShardRouter(1)
+    for key in [0, 7, 10**9, -3, "alpha", b"beta", ("k", 7), 3.5]:
+        assert router.shard_of(key) == 0
+
+
+def test_router_and_preload_partitions_agree():
+    # The cluster's preload partitioning, the client's per-op routing and
+    # the standalone router must all place a key on the same shard.
+    cluster = Cluster(ClusterConfig(protocol="hermes", num_replicas=3, shards=4, seed=8))
+    workload = WorkloadMix.uniform(96, 0.2, seed=8)
+    cluster.preload(workload.initial_dataset())
+    router = ShardRouter(4)
+    for key in range(96):
+        shard = router.shard_of(key)
+        assert cluster.shard_router.shard_of(key) == shard
+        for node_id in cluster.node_ids:
+            for s in range(4):
+                holds = key in cluster.shard_replicas[(node_id, s)].store._records
+                assert holds == (s == shard), (key, node_id, s)
+
+
 # ------------------------------------------------------- op-count invariance
 @pytest.mark.parametrize("mode", ["coupled", "parallel"])
 def test_total_op_counts_invariant_under_shard_count(mode):
@@ -129,22 +167,27 @@ def test_parallel_shard_execution_matches_serial():
 
 
 def test_derive_cell_seed_unchanged_by_default_shard_fields():
-    # `shards`/`shard_mode` at their defaults are identity-neutral: adding
-    # the axis must not re-seed (and thus invalidate) existing baselines.
+    # Axis fields at their defaults (`shards`, `shard_mode`, and the
+    # transaction axes) are identity-neutral: adding a new axis must not
+    # re-seed (and thus invalidate) existing baselines.
+    from repro.bench.runner import _IDENTITY_NEUTRAL_DEFAULTS
+
     spec = tiny_spec()
     assert vars(spec)["shards"] == 1
+    excluded = {"seed", *_IDENTITY_NEUTRAL_DEFAULTS}
     identity = sorted(
         (name, repr(value))
         for name, value in vars(spec).items()
-        if name not in ("seed", "shards", "shard_mode")
+        if name not in excluded
     )
     import hashlib
 
     payload = repr((identity, 1)).encode("utf-8")
     legacy = int.from_bytes(hashlib.sha256(payload).digest()[:4], "big") % (2**31 - 1) + 1
     assert derive_cell_seed(spec, 1) == legacy
-    # Non-default shard settings do perturb the seed.
+    # Non-default axis settings do perturb the seed.
     assert derive_cell_seed(replace(spec, shards=2), 1) != legacy
+    assert derive_cell_seed(replace(spec, txn_fraction=0.2), 1) != legacy
 
 
 # ------------------------------------------------------------ cluster shape
