@@ -23,9 +23,12 @@ from repro.bench.harness import ExperimentResult, ExperimentSpec, Scale
 from repro.cluster.client import ClosedLoopClient
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.core.config import HermesConfig
+from repro.errors import BenchmarkError, ConfigurationError
 from repro.membership.detector import FailureDetectorConfig
-from repro.membership.service import MembershipConfig
+from repro.membership.service import MembershipConfig, PlannedMigration
+from repro.membership.view import ShardMigration
 from repro.protocols.base import ReplicaConfig, protocol_registry
+from repro.verification.history import History
 from repro.workloads.distributions import UniformKeys
 from repro.workloads.generator import WorkloadMix
 
@@ -356,6 +359,7 @@ def figure_open_loop(
     protocols: Sequence[str] = MAIN_PROTOCOLS,
     offered_loads: Optional[Sequence[float]] = None,
     write_ratio: float = 0.20,
+    shard_counts: Sequence[int] = (1, 4),
     seed: int = 1,
     jobs: Optional[int] = None,
 ) -> FigureResult:
@@ -375,6 +379,12 @@ def figure_open_loop(
     instead of a fixed absolute ladder that under-drives fast protocols and
     floods slow ones. Pass ``offered_loads`` to pin absolute load points
     (e.g. the legacy :data:`OPEN_LOOP_LOADS`) for all protocols instead.
+
+    ``shard_counts`` adds a key-range sharding axis: the same absolute
+    ladder (calibrated against the unsharded protocol) is offered to
+    coupled sharded deployments, showing how role spreading moves the
+    saturation knee without changing the offered load. ``S = 1`` rows and
+    their derived seeds are identical to the pre-axis sweep.
     """
     scale = scale or Scale.default()
     calibrated = offered_loads is None
@@ -390,6 +400,7 @@ def figure_open_loop(
         figure="Open-loop sweep (Poisson arrivals, 20% writes, uniform)",
         headers=[
             "protocol",
+            "shards",
             "ladder",
             "offered_ops_s",
             "delivered_ops_s",
@@ -403,6 +414,8 @@ def figure_open_loop(
                 if calibrated
                 else "fixed offered-load ladder"
             )
+            + "; sharded rows offer the same absolute ladder to coupled "
+            "S-shard deployments"
         ),
     )
     rungs = {
@@ -413,6 +426,7 @@ def figure_open_loop(
         )
         for protocol in protocols
     }
+    sharded_counts = [s for s in shard_counts if s != 1]
     cells = [
         (
             (protocol, index),
@@ -429,29 +443,55 @@ def figure_open_loop(
         for protocol in protocols
         for index, (_, load) in enumerate(rungs[protocol])
     ]
+    cells += [
+        (
+            (protocol, shards, index),
+            replace(
+                ExperimentSpec(
+                    protocol=protocol,
+                    write_ratio=write_ratio,
+                    label="openloop",
+                ).with_scale(scale),
+                client_model="open",
+                offered_load=load,
+                shards=shards,
+            ),
+        )
+        for protocol in protocols
+        for shards in sharded_counts
+        for index, (_, load) in enumerate(rungs[protocol])
+    ]
     runs = run_cells(cells, root_seed=seed, jobs=jobs)
     for protocol in protocols:
         if calibrated:
             result.data[(protocol, "capacity")] = capacities[protocol]
-        for index, (fraction, load) in enumerate(rungs[protocol]):
-            run = runs[(protocol, index)]
-            rung_label = f"{fraction:.1f}x" if fraction is not None else "fixed"
-            result.data[(protocol, rung_label, index)] = {
-                "offered": load,
-                "delivered": run.throughput,
-                "median_us": run.overall_latency.median_us,
-                "p99_us": run.overall_latency.p99_us,
-            }
-            result.rows.append(
-                [
-                    protocol,
-                    rung_label,
-                    f"{load:,.0f}",
-                    f"{run.throughput:,.0f}",
-                    f"{run.overall_latency.median_us:.1f}",
-                    f"{run.overall_latency.p99_us:.1f}",
-                ]
-            )
+        for shards in [1, *sharded_counts]:
+            for index, (fraction, load) in enumerate(rungs[protocol]):
+                run = runs[(protocol, index) if shards == 1 else (protocol, shards, index)]
+                rung_label = f"{fraction:.1f}x" if fraction is not None else "fixed"
+                # S=1 keeps the pre-axis data keys; sharded rows add S.
+                data_key = (
+                    (protocol, rung_label, index)
+                    if shards == 1
+                    else (protocol, shards, rung_label, index)
+                )
+                result.data[data_key] = {
+                    "offered": load,
+                    "delivered": run.throughput,
+                    "median_us": run.overall_latency.median_us,
+                    "p99_us": run.overall_latency.p99_us,
+                }
+                result.rows.append(
+                    [
+                        protocol,
+                        shards,
+                        rung_label,
+                        f"{load:,.0f}",
+                        f"{run.throughput:,.0f}",
+                        f"{run.overall_latency.median_us:.1f}",
+                        f"{run.overall_latency.p99_us:.1f}",
+                    ]
+                )
     return result
 
 
@@ -847,6 +887,18 @@ def figure_8_derecho(
 # ---------------------------------------------------------------------------
 # Figure 9: throughput timeline across a node failure
 # ---------------------------------------------------------------------------
+def _require_coupled(figure: str, shard_mode: str) -> None:
+    """Membership/view-change scenarios need one shared simulation."""
+    if shard_mode != "coupled":
+        raise BenchmarkError(
+            f"{figure} is a membership/view-change scenario and requires "
+            "shard_mode='coupled': parallel shard execution runs each shard "
+            "as an independent simulation, so there is no shared cluster for "
+            "the RM service to reconfigure. Re-run with --shard-mode coupled "
+            "(the default)."
+        )
+
+
 def figure_9_failure(
     write_ratio: float = 0.05,
     num_replicas: int = 5,
@@ -857,6 +909,11 @@ def figure_9_failure(
     think_time: float = 120e-6,
     clients_per_replica: int = 3,
     window: float = 0.010,
+    shards: int = 1,
+    shard_mode: str = "coupled",
+    txn_fraction: float = 0.10,
+    txn_keys: int = 2,
+    recover_time: Optional[float] = None,
     seed: int = 1,
 ) -> FigureResult:
     """Figure 9: HermesKV throughput before, during and after a node failure.
@@ -866,7 +923,19 @@ def figure_9_failure(
     throughput collapses, and once the conservative detection timeout and the
     outstanding leases expire the membership is reliably updated and
     throughput recovers (at a lower steady state, since one replica is gone).
+
+    With ``shards > 1`` the same scenario runs on a sharded cluster: one
+    per-node membership stack serves every co-hosted shard, the crashed node
+    is a shard's transaction lock master (so in-flight 2PC aborts and
+    lock-table recovery are exercised — ``txn_fraction`` of requests are
+    multi-key transactions), the node is later recovered (it rejoins as a
+    live process but stays outside the view), and the run records a full
+    history that is checked for per-key linearizability and transaction
+    atomicity. The unsharded default is byte-identical to the classic
+    Figure 9 setup.
     """
+    _require_coupled("figure 9", shard_mode)
+    sharded = shards > 1
     membership = MembershipConfig(
         lease_duration=0.040,
         renewal_interval=0.010,
@@ -875,6 +944,7 @@ def figure_9_failure(
     config = ClusterConfig(
         protocol="hermes",
         num_replicas=num_replicas,
+        shards=shards,
         seed=seed,
         run_membership_service=True,
         membership=membership,
@@ -885,12 +955,24 @@ def figure_9_failure(
         write_ratio=write_ratio,
         value_size=32,
         seed=seed,
+        txn_fraction=txn_fraction if sharded else 0.0,
+        txn_keys=txn_keys,
+        txn_cross_shard=0.5 if sharded else 0.0,
+        txn_num_shards=shards,
     )
     cluster.preload(workload.initial_dataset())
 
-    crashed_node = max(cluster.node_ids)
+    # Unsharded: crash the last node (the classic setup). Sharded: crash a
+    # shard's lock master so transaction recovery is exercised too.
+    crashed_node = (shards - 1) % num_replicas if sharded else max(cluster.node_ids)
     cluster.crash_at(crashed_node, crash_time)
+    if sharded:
+        if recover_time is None:
+            recover_time = crash_time + 0.200
+        if recover_time < total_time:
+            cluster.sim.schedule_at(recover_time, cluster.recover, crashed_node)
 
+    history = History() if sharded else None
     clients: List[ClosedLoopClient] = []
     client_id = 0
     for node_id in cluster.node_ids:
@@ -906,6 +988,7 @@ def figure_9_failure(
                     max_ops=10**9,
                     think_time=think_time,
                     replica_id=node_id,
+                    history=history,
                 )
             )
             client_id += 1
@@ -922,7 +1005,8 @@ def figure_9_failure(
         cluster.membership_service.reconfiguration_times if cluster.membership_service else []
     )
     result = FigureResult(
-        figure="Figure 9 (throughput under a node failure)",
+        figure="Figure 9 (throughput under a node failure)"
+        + (f", {shards} shards" if sharded else ""),
         headers=["time_ms", "ops_per_sec"],
         notes=(
             f"node {crashed_node} crashed at {crash_time * 1e3:.0f} ms; "
@@ -937,6 +1021,205 @@ def figure_9_failure(
         "crash_time": crash_time,
         "reconfiguration_times": reconfig_times,
         "window": window,
+    }
+    if sharded:
+        from repro.verification.linearizability import LinearizabilityChecker
+        from repro.verification.transactions import check_transactions
+
+        checks = LinearizabilityChecker().check(
+            history, initial_values=workload.initial_dataset()
+        )
+        txn_check = check_transactions(history)
+        participants = [
+            replica._txn_participant
+            for replica in cluster.all_replicas()
+            if replica._txn_participant is not None
+        ]
+        result.data.update(
+            {
+                "shards": shards,
+                "recover_time": recover_time,
+                "linearizable": all(c.linearizable for c in checks),
+                "txn_check_ok": txn_check.ok,
+                "txns_committed": cluster.txn_stat("txns_committed"),
+                "txns_aborted": cluster.txn_stat("txns_aborted"),
+                "txns_timedout": cluster.txn_stat("txns_timedout"),
+                "txns_view_aborted": cluster.txn_stat("txns_view_aborted"),
+                "participant_view_aborts": sum(p.view_change_aborts for p in participants),
+            }
+        )
+        result.notes += (
+            f"; sharded run verified: linearizable={result.data['linearizable']}, "
+            f"txn atomicity={txn_check.ok} "
+            f"({txn_check.committed} committed / {txn_check.aborted} aborted txns)"
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Live shard migration: view-change-driven rebalance of a key range
+# ---------------------------------------------------------------------------
+def figure_migrate(
+    shards: int = 4,
+    source_shard: int = 0,
+    target_shard: Optional[int] = None,
+    num_replicas: int = 5,
+    write_ratio: float = 0.20,
+    num_keys: int = 1_000,
+    migrate_time: float = 0.080,
+    total_time: float = 0.240,
+    think_time: float = 120e-6,
+    clients_per_replica: int = 3,
+    shard_mode: str = "coupled",
+    seed: int = 1,
+) -> FigureResult:
+    """Live shard migration: throughput rebalances across shard groups.
+
+    A sharded Hermes cluster runs with the RM service enabled; at
+    ``migrate_time`` the service starts a planned rebalance moving half of
+    ``source_shard``'s key range to ``target_shard`` (freeze → copy through
+    the target protocol's replicated write path → Paxos-decided routing
+    flip → release of parked operations). The figure reports each shard's
+    served throughput before and after the flip: the source's share drops
+    by roughly the migrated fraction and the target's share rises by the
+    same amount, while the run's full history passes the per-key
+    linearizability checker and the migration-atomicity checker (no
+    operation observes pre-migration state after the flip).
+    """
+    _require_coupled("figure migrate", shard_mode)
+    if shards < 2:
+        raise BenchmarkError("figure migrate requires shards >= 2")
+    if target_shard is None:
+        # Default target scales with the shard count (the "opposite" shard:
+        # 2 of 4 at the defaults), so --shards S just works for any S >= 2.
+        target_shard = (source_shard + shards // 2) % shards
+    migration = ShardMigration(source=source_shard, target=target_shard)
+    try:
+        migration.validate(shards)
+    except ConfigurationError as exc:
+        raise BenchmarkError(f"figure migrate: {exc}") from exc
+    membership = MembershipConfig(
+        lease_duration=0.040,
+        renewal_interval=0.010,
+        detection=FailureDetectorConfig(ping_interval=0.010, detection_timeout=0.150),
+        migrations=[PlannedMigration(at_time=migrate_time, migration=migration)],
+    )
+    config = ClusterConfig(
+        protocol="hermes",
+        num_replicas=num_replicas,
+        shards=shards,
+        seed=seed,
+        run_membership_service=True,
+        membership=membership,
+    )
+    cluster = Cluster(config)
+    workload = WorkloadMix(
+        distribution=UniformKeys(num_keys),
+        write_ratio=write_ratio,
+        value_size=32,
+        seed=seed,
+    )
+    cluster.preload(workload.initial_dataset())
+
+    history = History()
+    clients: List[ClosedLoopClient] = []
+    client_id = 0
+    for node_id in cluster.node_ids:
+        for _ in range(clients_per_replica):
+            clients.append(
+                ClosedLoopClient(
+                    client_id=client_id,
+                    cluster=cluster,
+                    workload=workload,
+                    max_ops=10**9,
+                    think_time=think_time,
+                    replica_id=node_id,
+                    history=history,
+                )
+            )
+            client_id += 1
+    for client in clients:
+        client.start()
+    cluster.run(until=total_time)
+
+    records = cluster.migration_records
+    if not records:
+        raise BenchmarkError(
+            "the planned migration did not complete within the run; "
+            "increase total_time or move migrate_time earlier"
+        )
+    record = records[0]
+    flip_time = record.flip_time
+
+    # Per-shard served ops, attributed to the owning shard at completion
+    # time: migrated keys count toward the source before the flip and the
+    # target after it.
+    results = [r for c in clients for r in c.results if r.ok]
+    num_shards = shards
+
+    def owner_of(result) -> int:
+        key = result.op.key
+        base = key % num_shards if type(key) is int else None
+        if base is None:  # pragma: no cover - integer keys in every workload
+            base = 0
+        if migration.matches(key, num_shards):
+            return migration.target if result.end_time >= flip_time else migration.source
+        return base
+
+    # Measurement windows clear of the start-up ramp and the freeze window.
+    pre_lo, pre_hi = migrate_time * 0.25, migrate_time
+    post_lo, post_hi = flip_time + 0.010, total_time - 0.010
+    pre_counts = [0] * num_shards
+    post_counts = [0] * num_shards
+    for r in results:
+        end = r.end_time
+        if pre_lo <= end < pre_hi:
+            pre_counts[owner_of(r)] += 1
+        elif post_lo <= end < post_hi:
+            post_counts[owner_of(r)] += 1
+    pre_span = pre_hi - pre_lo
+    post_span = post_hi - post_lo
+
+    from repro.verification.linearizability import LinearizabilityChecker
+    from repro.verification.migration import check_migration
+
+    checks = LinearizabilityChecker().check(history, initial_values=workload.initial_dataset())
+    linearizable = all(c.linearizable for c in checks)
+    migration_check = check_migration(history, record)
+
+    result = FigureResult(
+        figure=f"Live shard migration ({shards} shards, half of shard "
+        f"{source_shard} -> shard {target_shard})",
+        headers=["shard", "pre_ops_s", "post_ops_s", "post/pre"],
+        notes=(
+            f"migration started at {migrate_time * 1e3:.0f} ms, froze at "
+            f"{record.freeze_time * 1e3:.2f} ms, copied {len(record.values)} keys, "
+            f"flipped at {flip_time * 1e3:.2f} ms; linearizable={linearizable}, "
+            f"migration atomicity={migration_check.ok} "
+            f"({migration_check.reads_checked} post-flip reads checked)"
+        ),
+    )
+    for shard in range(num_shards):
+        pre_rate = pre_counts[shard] / pre_span if pre_span > 0 else 0.0
+        post_rate = post_counts[shard] / post_span if post_span > 0 else 0.0
+        ratio = post_rate / pre_rate if pre_rate else 0.0
+        result.data[shard] = {
+            "pre_ops_s": pre_rate,
+            "post_ops_s": post_rate,
+            "ratio": ratio,
+        }
+        result.rows.append(
+            [shard, f"{pre_rate:,.0f}", f"{post_rate:,.0f}", f"{ratio:.2f}x"]
+        )
+    result.data["summary"] = {
+        "migrated_keys": len(record.values),
+        "freeze_time": record.freeze_time,
+        "frozen_time": record.frozen_time,
+        "copied_time": record.copied_time,
+        "flip_time": flip_time,
+        "linearizable": linearizable,
+        "migration_check_ok": migration_check.ok,
+        "post_flip_reads_checked": migration_check.reads_checked,
     }
     return result
 

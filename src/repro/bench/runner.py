@@ -485,12 +485,26 @@ def _figure_functions() -> Dict[str, List[Callable[..., Any]]]:
         return call
 
     def fixed(func: Callable[..., Any], **forwarded: Any) -> Callable[..., Any]:
-        """For figures with a bespoke, scale-independent setup (9, Table 2):
-        ``scale``/``jobs`` do not apply; ``forwarded`` names the arguments
-        that do (e.g. ``seed``)."""
+        """For figures with a bespoke, scale-independent setup (9, migrate,
+        Table 2): ``scale``/``jobs`` do not apply; ``forwarded`` names the
+        arguments that do (``seed``, and ``shards`` for figures whose
+        bespoke cluster honours the CLI's ``--shards``/``--shard-mode``
+        overrides)."""
 
         def call(scale: Scale, seed: int, jobs: Optional[int]) -> Any:
             kwargs = {"seed": seed} if "seed" in forwarded else {}
+            if forwarded.get("shards"):
+                # Forward --shards when the figure can honour it; below the
+                # figure's minimum (e.g. --shards 1 with migrate in an
+                # --figure all sweep) the bespoke default applies — an
+                # *explicitly selected* migrate with --shards 1 is rejected
+                # up front by the CLI instead.
+                shards = GRID_SPEC_OVERRIDES.get("shards")
+                if shards is not None and shards >= forwarded.get("min_shards", 1):
+                    kwargs["shards"] = shards
+                shard_mode = GRID_SPEC_OVERRIDES.get("shard_mode")
+                if shard_mode is not None:
+                    kwargs["shard_mode"] = shard_mode
             return func(**kwargs)
 
         call.__name__ = func.__name__
@@ -506,7 +520,8 @@ def _figure_functions() -> Dict[str, List[Callable[..., Any]]]:
         ],
         "7": [gridded(exp.figure_7_scalability)],
         "8": [gridded(exp.figure_8_derecho)],
-        "9": [fixed(exp.figure_9_failure, seed=True)],
+        "9": [fixed(exp.figure_9_failure, seed=True, shards=True)],
+        "migrate": [fixed(exp.figure_migrate, seed=True, shards=True, min_shards=2)],
         "table2": [fixed(exp.table_2_features)],
         "ablations": [gridded(exp.ablation_optimizations), gridded(exp.ablation_wings_batching)],
         "openloop": [gridded(exp.figure_open_loop)],
@@ -593,8 +608,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="append",
         dest="figures",
         metavar="FIG",
-        help="figure to run: 5, 6, 7, 8, 9, table2, ablations, openloop, "
-        "rmw, shardscale, shardskew, txn, or all (repeatable; default: all)",
+        help="figure to run: 5, 6, 7, 8, 9, migrate, table2, ablations, "
+        "openloop, rmw, shardscale, shardskew, txn, or all (repeatable; "
+        "default: all)",
     )
     parser.add_argument(
         "--scale",
@@ -608,8 +624,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=int,
         default=None,
         metavar="S",
-        help="override the key-range shard count of every grid cell "
-        "(figure 9 and table2 have bespoke setups and are unaffected)",
+        help="override the key-range shard count of every grid cell; the "
+        "bespoke figures 9 and migrate run their scenario on S shards "
+        "(table2 is unaffected)",
     )
     parser.add_argument(
         "--shard-mode",
@@ -671,15 +688,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.shards is not None and args.shards < 1:
         parser.error("--shards must be >= 1")
-    if args.shard_mode == "parallel" and (args.shards or 1) > 1 and "openloop" in figures:
-        # Fail before any figure burns compute: the open-loop sweep's
-        # Poisson sessions cannot be split across independent shard
-        # simulations (closed-loop replay only).
+    if args.shards == 1 and args.figures and "migrate" in args.figures:
+        # Only when migrate was selected by name: a default/--figure all
+        # sweep with --shards 1 runs the bespoke migrate figure at its own
+        # default shard count instead (grid cells all run unsharded).
         parser.error(
-            "--shard-mode parallel with --shards > 1 does not support the "
-            "open-loop figure (closed-loop clients only); use --shard-mode "
-            "coupled or select other figures"
+            "--figure migrate needs at least two shards to move a key range "
+            "between; use --shards >= 2 (default: 4)"
         )
+    if args.shard_mode == "parallel" and (args.shards or 1) > 1:
+        # Fail before any figure burns compute, with a clear message
+        # instead of a mid-run traceback.
+        if "openloop" in figures:
+            # The open-loop sweep's Poisson sessions cannot be split across
+            # independent shard simulations (closed-loop replay only).
+            parser.error(
+                "--shard-mode parallel with --shards > 1 does not support the "
+                "open-loop figure (closed-loop clients only); use --shard-mode "
+                "coupled or select other figures"
+            )
+        membership_figures = [f for f in figures if f in ("9", "migrate")]
+        if membership_figures:
+            # Membership/view-change scenarios need one shared simulation
+            # that the RM service can reconfigure.
+            parser.error(
+                f"--shard-mode parallel cannot run the membership/view-change "
+                f"figure(s) {membership_figures}: parallel execution runs each "
+                "shard as an independent simulation, so there is no shared "
+                "cluster for the RM service to reconfigure; use --shard-mode "
+                "coupled (the default)"
+            )
     overrides: Dict[str, Any] = {}
     if args.shards is not None:
         overrides["shards"] = args.shards

@@ -20,8 +20,7 @@ optionally, an invocation/response history for the linearizability checker.
 from __future__ import annotations
 
 import random
-from functools import partial
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.txn import ClientTxnSubmit, TxnOutcome, ops_wire_size
@@ -72,13 +71,22 @@ class ClientSession:
         self.replica_id = replica_id
         if cluster.sharded:
             # Key-range sharding: each operation routes to the replica of
-            # the shard owning its key, on this session's bound node.
+            # the shard owning its key, on this session's bound node. The
+            # bound node's router is epoch-versioned: a live shard
+            # migration re-routes this session exactly when the ``active``
+            # view installs on its node.
             self._replica = None
             self._shard_replicas = cluster.replicas_on(replica_id)
-            self._shard_of = cluster.shard_router.shard_of
+            self._shard_of = cluster.host_router(replica_id).shard_of
         else:
             self._replica = cluster.replica(replica_id)
         self._sim = cluster.sim
+        # Per-operation completion context, keyed by op/txn id. Completion
+        # callbacks are the bound methods below — allocated once per
+        # session instead of one functools.partial per operation (a named
+        # hot-path allocation; see repro.bench.microbench).
+        self._inflight: Dict[int, Tuple[float, float]] = {}
+        self._txn_inflight: Dict[int, Tuple[float, float]] = {}
         self.request_latency = request_latency
         # Per-client deterministic stream for request/response latency
         # jitter, drawn in issue order (bind .random once; it is consumed
@@ -132,10 +140,15 @@ class ClientSession:
         if self.history is not None:
             self.history.invoke(op, start)
         request_lat, response_lat = self._draw_latencies()
+        replica = self._replica_for(op)
+        if replica.crashed:
+            # The node would silently drop the submission anyway (the op
+            # stays pending in the history); skipping it here keeps the
+            # in-flight context dict from accumulating dead entries.
+            return
         if request_lat > 0:
-            self._replica_for(op).submit_at(
-                start + request_lat, op, partial(self._record, start, response_lat)
-            )
+            self._inflight[op.op_id] = (start, response_lat)
+            replica.submit_at(start + request_lat, op, self._record)
         else:
             self._submit(op, start)
 
@@ -160,17 +173,21 @@ class ClientSession:
         if self.history is not None:
             self.history.invoke_txn(txn, issue_time)
         request_lat, response_lat = self._draw_latencies()
-        submit = ClientTxnSubmit(txn, partial(self._record_txn, issue_time, response_lat))
+        node = self._txn_node()
+        if node.crashed:
+            return  # dropped at the node; see _issue
+        self._txn_inflight[txn.txn_id] = (issue_time, response_lat)
+        submit = ClientTxnSubmit(txn, self._record_txn)
         config = self.cluster.config.replica
         size = ops_wire_size(txn.ops, config.key_size, config.value_size)
-        node = self._txn_node()
         arrival = issue_time + request_lat
         if arrival > sim_now:
             node.submit_local_at(arrival, submit, size_bytes=size)
         else:
             node.submit_local(submit, size_bytes=size)
 
-    def _record_txn(self, start: float, response_lat: float, txn: Transaction, outcome: TxnOutcome) -> None:
+    def _record_txn(self, txn: Transaction, outcome: TxnOutcome) -> None:
+        start, response_lat = self._txn_inflight.pop(txn.txn_id)
         end = self._sim._now + response_lat
         status = outcome.status
         if self.history is not None:
@@ -208,13 +225,18 @@ class ClientSession:
             self.on_complete(txn.ops[0], status, None)
 
     def _submit(self, op: Operation, start: float) -> None:
-        self._replica_for(op).submit(op, partial(self._record, start, 0.0))
+        replica = self._replica_for(op)
+        if replica.crashed:
+            return  # dropped at the node; see _issue
+        self._inflight[op.op_id] = (start, 0.0)
+        replica.submit(op, self._record)
 
-    def _record(self, start: float, response_lat: float, op: Operation, status: OpStatus, value: Value) -> None:
-        # Note the argument order: ``start`` and the response-leg latency
-        # lead so completion callbacks can be built with a positional
-        # functools.partial (cheaper to call than a keyword-bound one; this
-        # runs once per operation).
+    def _record(self, op: Operation, status: OpStatus, value: Value) -> None:
+        # The per-operation context (issue time, response-leg latency) is
+        # keyed by op id in ``_inflight``: one dict store+pop per operation
+        # replaces the functools.partial allocation each completion
+        # callback used to cost.
+        start, response_lat = self._inflight.pop(op.op_id)
         end = self._sim._now + response_lat
         if self.history is not None:
             self.history.respond(op, end, status, value)
@@ -321,10 +343,12 @@ class ClosedLoopClient(ClientSession):
             return
         self.issued += 1
         request_lat, next_response_lat = self._draw_latencies()
+        replica = self._replica_for(op)
+        if replica.crashed:
+            return  # dropped at the node; see _issue
         if request_lat > 0 or issue_time > sim._now:
-            self._replica_for(op).submit_at(
-                issue_time + request_lat, op, partial(self._record, issue_time, next_response_lat)
-            )
+            self._inflight[op.op_id] = (issue_time, next_response_lat)
+            replica.submit_at(issue_time + request_lat, op, self._record)
         else:
             self._submit(op, issue_time)
 

@@ -86,11 +86,16 @@ class ClusterConfig:
             raise ConfigurationError("num_replicas must be >= 1")
         if self.shards < 1:
             raise ConfigurationError("shards must be >= 1")
-        if self.shards > 1 and self.run_membership_service:
-            # The RM service addresses whole nodes; per-shard membership
-            # agents would multiplex over one node id. Failure experiments
-            # (Figure 9) run unsharded.
-            raise ConfigurationError("run_membership_service is not supported with shards > 1")
+        if self.membership.migrations:
+            if self.shards < 2:
+                raise ConfigurationError("shard migrations require shards >= 2")
+            if not self.run_membership_service:
+                raise ConfigurationError(
+                    "shard migrations are driven by the membership service; "
+                    "set run_membership_service=True"
+                )
+            for plan in self.membership.migrations:
+                plan.migration.validate(self.shards)
         if self.protocol not in protocol_registry():
             raise ConfigurationError(
                 f"unknown protocol {self.protocol!r}; known: {sorted(protocol_registry())}"
@@ -186,7 +191,10 @@ class Cluster:
         clock_rng = self.rng.stream("clocks")
         for node_id in range(self.config.num_replicas):
             clock = LooselySynchronizedClock(self.config.replica.clock, rng=clock_rng)
-            self.replicas[node_id] = self._make_replica(node_id, clock)
+            replica = self._make_replica(node_id, clock)
+            if self.config.run_membership_service:
+                replica.membership_agent.service_driven = True
+            self.replicas[node_id] = replica
 
     def _build_sharded_replicas(self) -> None:
         """Assemble ``shards`` independent protocol groups over shared nodes.
@@ -195,13 +203,26 @@ class Cluster:
         and network endpoint) plus one guest replica per shard. Shards on a
         node share the host's CPU/NIC budget and the node's loosely
         synchronized clock — they are co-located partitions of one machine,
-        not extra machines.
+        not extra machines. With the RM service enabled the host also gets
+        the node's single membership agent, shared by every guest.
         """
         clock_rng = self.rng.stream("clocks")
         for node_id in range(self.config.num_replicas):
-            host = ShardHost(node_id, self.sim, self.network, self.config.service_model)
+            host = ShardHost(
+                node_id,
+                self.sim,
+                self.network,
+                self.config.service_model,
+                router=ShardRouter(self.config.shards),
+            )
             self.hosts[node_id] = host
             clock = LooselySynchronizedClock(self.config.replica.clock, rng=clock_rng)
+            if self.config.run_membership_service:
+                host.enable_membership(
+                    self.view,
+                    local_clock=(lambda c=clock: c.read(self.sim.now)),
+                    service_node_id=self.config.membership.service_node_id,
+                )
             for shard in range(self.config.shards):
                 replica = self._make_replica(node_id, clock, host=host, shard_id=shard)
                 host.attach(replica)
@@ -236,6 +257,24 @@ class Cluster:
         if self.sharded:
             return list(self.hosts[node_id].shard_replicas)
         return [self.replicas[node_id]]
+
+    def host_router(self, node_id: NodeId) -> ShardRouter:
+        """The routing table of ``node_id`` (migration-aware when sharded).
+
+        Clients bound to a node route through its host's router, so a
+        live-migration flip re-routes each node's clients exactly when the
+        ``active`` view installs on that node.
+        """
+        if self.sharded:
+            return self.hosts[node_id].router
+        return self.shard_router
+
+    @property
+    def migration_records(self):
+        """Completed live migrations (see the RM service's records)."""
+        if self.membership_service is None:
+            return []
+        return self.membership_service.migration_records
 
     def all_replicas(self) -> Iterator[ReplicaNode]:
         """Every protocol replica instance (``nodes x shards`` when sharded)."""

@@ -9,10 +9,13 @@ nodes — and partitions the key space across them.
 
 Two pieces implement it:
 
-* :class:`ShardRouter` — the pure key→shard mapping (hash partitioning, as
-  HermesKV's per-thread key partitioning). Clients use it to route each
-  operation to the right shard replica; the cluster uses it to partition
-  the preloaded dataset.
+* :class:`ShardRouter` — the key→shard mapping (hash partitioning, as
+  HermesKV's per-thread key partitioning), plus the *routing epoch*: a live
+  shard migration re-routes a slice of one shard's range to another shard,
+  and routers advance to the new mapping when the ``active`` shard map of a
+  membership view reaches their node (:meth:`ShardRouter.apply`). Clients
+  use their bound node's router to route each operation; the cluster uses
+  the base (epoch-0) mapping to partition the preloaded dataset.
 * :class:`ShardHost` — one per simulated node. It owns the node's CPU
   timeline, arrival inbox and network registration; the per-shard protocol
   replicas are constructed as *guests* of the host (see
@@ -26,6 +29,28 @@ Two pieces implement it:
 ``shards=1`` deployments bypass this module entirely — the cluster builds
 the exact unsharded structure, keeping artifacts byte-identical.
 
+Membership on sharded clusters
+------------------------------
+
+A single per-node membership agent (owned by the host, enabled by
+:meth:`ShardHost.enable_membership`) serves every co-hosted shard: the RM
+service pings nodes, the host answers, and an installed m-update fans out
+to all shard replicas — each recomputes its rotated ``role_ring`` (leader,
+sequencer, chain order, lock master) under the new view consistently,
+because all guests share the host's agent and therefore its view object.
+
+Live shard migration rides the same machinery (see
+:mod:`repro.membership.service` for the orchestration): on a ``preparing``
+shard map the host freezes the migrated keys at the source shard's replica
+and reports quiescence; on :class:`~repro.membership.messages.MigrationCopy`
+it copies the frozen values into the target shard through the target
+protocol's normal replicated write path; on the ``active`` shard map it
+flips its router and re-routes the parked operations to the target shard.
+No operation can observe pre-migration state after the flip: post-flip
+routes reach the target (which holds the copied state), and pre-flip
+arrivals at the source are parked until the flip releases them to the
+target (checked by :mod:`repro.verification.migration`).
+
 Shards are independent protocol groups; *cross-shard* multi-key operations
 are provided by the transaction layer on top (:mod:`repro.cluster.txn`).
 Its messages ride the same ``(shard_id, inner)`` envelopes: participant
@@ -37,13 +62,29 @@ the host's per-node 2PC coordinator.
 from __future__ import annotations
 
 import zlib
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.membership.agent import MembershipAgent
+from repro.membership.messages import (
+    MembershipMessage,
+    MigrationCopied,
+    MigrationCopy,
+    MigrationFrozen,
+)
+from repro.membership.view import (
+    SHARD_MAP_ACTIVE,
+    SHARD_MAP_CANCELLED,
+    SHARD_MAP_PREPARING,
+    MembershipView,
+    ShardMap,
+    ShardMigration,
+    shard_and_sub,
+)
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 from repro.sim.node import NodeProcess, ServiceTimeModel
-from repro.types import Key, NodeId
+from repro.types import Key, NodeId, Operation, OpStatus
 
 
 class ShardRouter:
@@ -55,20 +96,153 @@ class ShardRouter:
     ``repr`` so the mapping is stable across processes and Python hash
     randomization (a requirement for deterministic process-parallel shard
     execution).
+
+    Routing is **epoch-versioned**: :meth:`apply` advances the router to a
+    view's ``active`` shard map, re-routing the migrated slice to its new
+    owner. Epochs only move forward, so replayed or reordered view installs
+    can never revert routing. With no migration installed the router is
+    byte-identical to the pre-migration modulo/CRC mapping.
     """
 
-    __slots__ = ("num_shards",)
+    __slots__ = ("num_shards", "epoch", "_migrations")
 
     def __init__(self, num_shards: int) -> None:
         if num_shards < 1:
             raise ConfigurationError("num_shards must be >= 1")
         self.num_shards = num_shards
+        #: Routing epoch of the last applied shard map (0 = base mapping).
+        self.epoch = 0
+        #: Cumulative applied migrations, in application order (``None``
+        #: until the first flip — keeps the common path to one check).
+        self._migrations: Optional[Tuple[ShardMigration, ...]] = None
 
     def shard_of(self, key: Key) -> int:
-        """The shard owning ``key``."""
+        """The shard owning ``key`` under the router's current epoch."""
+        # Inlined spelling of repro.membership.view.shard_and_sub (this is
+        # the per-operation routing hot path; keep the arithmetic in sync).
         if type(key) is int:
-            return key % self.num_shards
-        return zlib.crc32(repr(key).encode("utf-8")) % self.num_shards
+            shard = key % self.num_shards
+            sub = None
+            if self._migrations is not None:
+                sub = key // self.num_shards
+        else:
+            digest = zlib.crc32(repr(key).encode("utf-8"))
+            shard = digest % self.num_shards
+            sub = digest // self.num_shards
+        migrations = self._migrations
+        if migrations is not None:
+            # Chain the rebalances in order: a key moved by one migration
+            # may be the source slice of a later one.
+            for migration in migrations:
+                if shard == migration.source and sub % migration.stride == migration.offset:
+                    shard = migration.target
+        return shard
+
+    def apply(self, shard_map: Optional[ShardMap]) -> bool:
+        """Advance to a view's ``active`` shard map; returns whether routing moved."""
+        if (
+            shard_map is None
+            or shard_map.phase != SHARD_MAP_ACTIVE
+            or shard_map.epoch <= self.epoch
+        ):
+            return False
+        self.epoch = shard_map.epoch
+        self._migrations = shard_map.migrations or None
+        return True
+
+
+def migration_predicate(
+    migration: ShardMigration,
+    num_shards: int,
+    prior: Optional[Tuple[ShardMigration, ...]],
+):
+    """The exact "does ``key`` move?" predicate of one migration.
+
+    A migration's slice is defined over the *routed* mapping at freeze
+    time — the base hash with every previously applied migration chained
+    on top — so the frozen/copied key set is exactly the set the router
+    re-routes when it later applies this migration as the chain's next
+    step. Evaluating against the base mapping alone would diverge as soon
+    as an earlier rebalance had moved keys into this migration's source
+    shard.
+    """
+    source = migration.source
+    stride = migration.stride
+    offset = migration.offset
+
+    def moves(key: Key) -> bool:
+        shard, sub = shard_and_sub(key, num_shards)
+        if prior:
+            for earlier in prior:
+                if shard == earlier.source and sub % earlier.stride == earlier.offset:
+                    shard = earlier.target
+        return shard == source and sub % stride == offset
+
+    return moves
+
+
+class FrozenKeys:
+    """Freeze filter installed on a source-shard replica during a migration.
+
+    Client operations whose key lies in the migrated slice are parked here
+    from the moment the ``preparing`` view installs until the ``active``
+    view releases them to the target shard — the brief per-key
+    unavailability window a live migration trades for atomicity.
+
+    After the flip the filter switches to **forwarding** and stays
+    installed: an operation that was routed to the source before its
+    node's router flipped (it was in flight across the client request
+    latency) is re-dispatched to the new owner instead of being applied to
+    the abandoned source copy — the routing tombstone real migrations
+    leave behind. A later migration from the same source shard chains on
+    top (``prior``), so earlier tombstones keep forwarding.
+    """
+
+    __slots__ = ("migration", "moves", "parked", "forward", "prior")
+
+    def __init__(
+        self,
+        migration: ShardMigration,
+        moves,
+        prior: Optional["FrozenKeys"] = None,
+    ) -> None:
+        self.migration = migration
+        #: The migration's key predicate (see :func:`migration_predicate`).
+        self.moves = moves
+        self.prior = prior
+        self.parked: List[Tuple[Operation, Any]] = []
+        #: Post-flip redirect installed by the host; ``None`` while frozen.
+        self.forward: Any = None
+
+    @property
+    def forwarding(self) -> bool:
+        """Whether the flip happened (late arrivals redirect to the owner)."""
+        return self.forward is not None
+
+    def matches(self, key: Key) -> bool:
+        """Whether operations on ``key`` belong to this (or a prior) slice."""
+        if self.moves(key):
+            return True
+        prior = self.prior
+        return prior is not None and prior.matches(key)
+
+    def admit(self, op: Operation, callback: Any) -> None:
+        """Park (pre-flip) or redirect (post-flip) one migrated-key operation."""
+        if self.moves(op.key):
+            forward = self.forward
+            if forward is not None:
+                forward(op, callback)
+            else:
+                self.parked.append((op, callback))
+        else:
+            # Matched through an earlier migration's tombstone.
+            self.prior.admit(op, callback)
+
+    def begin_forwarding(self, forward: Any) -> List[Tuple[Operation, Any]]:
+        """Flip to forwarding mode, returning the parked backlog to drain."""
+        self.forward = forward
+        parked, self.parked = self.parked, []
+        return parked
 
 
 class ShardHost(NodeProcess):
@@ -79,7 +253,13 @@ class ShardHost(NodeProcess):
     ``(shard_id, inner)`` envelopes — network messages and locally submitted
     client work alike — are unwrapped and dispatched to the owning shard's
     replica, whose handlers run under the host's CPU service model.
+    Unenveloped membership traffic is handled by the host's own per-node
+    membership agent (when enabled), which serves all co-hosted shards.
     """
+
+    #: Delay between freeze-quiescence re-checks while in-flight writes on
+    #: migrated keys drain (a few simulated write round-trips).
+    _FREEZE_SETTLE = 0.5e-3
 
     def __init__(
         self,
@@ -87,11 +267,20 @@ class ShardHost(NodeProcess):
         sim: Simulator,
         network: Network,
         service_model: Optional[ServiceTimeModel] = None,
+        router: Optional[ShardRouter] = None,
     ) -> None:
         super().__init__(node_id, sim, network, service_model)
         #: Shard id -> guest replica, indexed positionally (shard ids are
         #: dense 0..S-1); filled by :meth:`attach` during cluster assembly.
         self.shard_replicas: List[Any] = []
+        #: This node's routing table (clients bound to the node and the
+        #: node's 2PC coordinator route through it; flipped by migrations).
+        self.router = router or ShardRouter(1)
+        #: Per-node membership agent shared by every guest replica
+        #: (``None`` until :meth:`enable_membership`).
+        self.membership_agent: Optional[MembershipAgent] = None
+        self._service_node_id: Optional[NodeId] = None
+        self._shard_map_seen = 0
 
     def attach(self, replica: Any) -> None:
         """Register the next shard's guest replica (in shard-id order)."""
@@ -102,13 +291,223 @@ class ShardHost(NodeProcess):
             )
         self.shard_replicas.append(replica)
 
+    # ----------------------------------------------------------- membership
+    def enable_membership(
+        self,
+        view: MembershipView,
+        local_clock: Callable[[], float],
+        service_node_id: NodeId,
+    ) -> None:
+        """Create the node's membership agent (before guests are attached).
+
+        Guest replicas constructed afterwards share this agent (see
+        ``ReplicaNode.__init__``), so one per-node agent/detector/Paxos
+        stack serves every co-hosted shard.
+        """
+        self._service_node_id = service_node_id
+        self.membership_agent = MembershipAgent(
+            node_id=self.node_id,
+            initial_view=view,
+            send=self._membership_send,
+            local_clock=local_clock,
+            on_view_change=self._view_changed,
+            static_lease=True,
+        )
+        self.membership_agent.service_driven = True
+
+    def recover(self) -> None:
+        """Recover the node; a restarted process holds no membership lease."""
+        super().recover()
+        agent = self.membership_agent
+        if agent is not None:
+            agent.invalidate_lease()
+
+    def _membership_send(self, dst: NodeId, message: MembershipMessage, size: int) -> None:
+        self.send(dst, message, size)
+
+    def _view_changed(self, view: MembershipView) -> None:
+        """Fan a newly installed view out to every co-hosted shard replica.
+
+        Each guest updates its view, recomputes its rotated role ring and
+        runs its protocol's ``on_view_change`` hook; the node's transaction
+        coordinator then aborts transactions stranded by departed lock
+        masters, and finally the shard map (if any) drives the migration
+        state machine on this node.
+        """
+        for replica in self.shard_replicas:
+            replica._view_changed(view)
+        coordinator = self._txn_coordinator
+        if coordinator is not None:
+            coordinator.on_view_change(view)
+        self._apply_shard_map(view)
+
+    # ------------------------------------------------------------ migration
+    def _apply_shard_map(self, view: MembershipView) -> None:
+        shard_map = view.shard_map
+        if shard_map is None or shard_map.epoch <= self._shard_map_seen:
+            return
+        self._shard_map_seen = shard_map.epoch
+        if shard_map.phase == SHARD_MAP_PREPARING and shard_map.migrations:
+            self._begin_freeze(shard_map.migrations[-1], view.epoch_id)
+        elif shard_map.phase == SHARD_MAP_ACTIVE:
+            if shard_map.migrations:
+                self.router.apply(shard_map)
+                self._release_frozen(shard_map.migrations[-1])
+        elif shard_map.phase == SHARD_MAP_CANCELLED and shard_map.cancelled is not None:
+            self._cancel_freeze(shard_map.cancelled)
+
+    def _begin_freeze(self, migration: ShardMigration, epoch_id: int) -> None:
+        source = self.shard_replicas[migration.source]
+        # The slice is evaluated over the routed chain at freeze time (the
+        # router has not applied this migration yet), and a previous
+        # migration's forwarding tombstone, if any, stays chained beneath.
+        moves = migration_predicate(
+            migration, len(self.shard_replicas), self.router._migrations
+        )
+        source.freeze_keys(FrozenKeys(migration, moves, prior=source._frozen))
+        self.set_timer(self._FREEZE_SETTLE, self._check_frozen, migration, epoch_id)
+
+    def _cancel_freeze(self, migration: ShardMigration) -> None:
+        """Abandoned before the flip: unfreeze; routing never moved.
+
+        Parked operations resume at the source shard itself, and any
+        earlier migration's forwarding tombstone is restored.
+        """
+        source = self.shard_replicas[migration.source]
+        frozen = source._frozen
+        if frozen is None or frozen.migration != migration or frozen.forwarding:
+            return
+        source._frozen = frozen.prior
+        for op, callback in frozen.parked:
+            source.submit_local((op, callback))
+
+    def _check_frozen(self, migration: ShardMigration, epoch_id: int) -> None:
+        """Report quiescence once in-flight work on the source drained.
+
+        New operations on the migrated keys are parked by the freeze
+        filter (and new transaction prepares on them vote NO); work that
+        was already in flight when the freeze arrived finishes through the
+        protocol normally. Quiescence therefore requires both
+
+        * no coordinated updates pending at this node's source replica
+          (``pending_updates``), and
+        * no transaction locks held on migrated keys at this node's source
+          participant — a transaction prepared *before* the freeze may
+          still commit, and its writes must land before the copy reads the
+          frozen values.
+
+        The settle timer re-checks until both drain (the transaction
+        timeouts bound the wait); protocols without an in-flight counter
+        are covered by the settle delay itself.
+        """
+        source = self.shard_replicas[migration.source]
+        frozen = source._frozen
+        if frozen is None or frozen.migration != migration or frozen.forwarding:
+            return  # cancelled (or already flipped) meanwhile; stop checking
+        busy = bool(getattr(source, "pending_updates", 0))
+        if not busy:
+            participant = source._txn_participant
+            if participant is not None and participant.locks:
+                moves = frozen.moves
+                busy = any(moves(key) for key in participant.locks)
+        if busy:
+            self.set_timer(self._FREEZE_SETTLE, self._check_frozen, migration, epoch_id)
+            return
+        ack = MigrationFrozen(epoch_id=epoch_id)
+        self.send(self._service_node_id, ack, ack.size_bytes)
+
+    def _start_copy(self, message: MigrationCopy) -> None:
+        """Copy the frozen keys into the target shard (copy-leader node only).
+
+        Values are read locally from the quiescent source replica and
+        written through the target shard's **normal replicated write path**
+        — every target replica receives them like any client write, so the
+        copy inherits the protocol's consistency and fault tolerance. The
+        migrated slice is evaluated over the routed chain (the router has
+        not applied this migration yet), matching the freeze filter and
+        the router's eventual flip exactly.
+        """
+        migration = message.migration
+        source = self.shard_replicas[migration.source]
+        target = self.shard_replicas[migration.target]
+        moves = migration_predicate(
+            migration, len(self.shard_replicas), self.router._migrations
+        )
+        keys = sorted(key for key in source.store.keys() if moves(key))
+        values = {key: source.store.get(key) for key in keys}
+        state = {
+            "outstanding": len(keys),
+            "epoch": message.epoch_id,
+            "values": values,
+            "failed": False,
+        }
+        if not keys:
+            self._copy_finished(state)
+            return
+        key_size = target.config.key_size
+        for key in keys:
+            op = Operation.write(key, values[key], client_id=-1)
+            target.submit_local(
+                (
+                    op,
+                    lambda _op, status, _value, _state=state: self._copy_write_done(
+                        _state, status
+                    ),
+                ),
+                size_bytes=key_size + target.value_size_of(values[key]),
+            )
+
+    def _copy_write_done(self, state: Dict[str, Any], status: OpStatus) -> None:
+        if status is not OpStatus.OK:
+            # A copy write failed to replicate (e.g. the target group lost
+            # its quorum mid-copy): never ack — flipping would expose a
+            # target missing data. The service's migration watchdog
+            # cancels the rebalance; routing stays on the source.
+            state["failed"] = True
+        state["outstanding"] -= 1
+        if state["outstanding"] == 0 and not state["failed"]:
+            self._copy_finished(state)
+
+    def _copy_finished(self, state: Dict[str, Any]) -> None:
+        ack = MigrationCopied(epoch_id=state["epoch"], values=state["values"])
+        self.send(self._service_node_id, ack, ack.size_bytes)
+
+    def _release_frozen(self, migration: ShardMigration) -> None:
+        """Flip complete: re-route parked (and late-arriving) operations.
+
+        The freeze filter stays installed in forwarding mode: operations
+        that were routed to the source just before this node's router
+        flipped are still in flight across the client request latency, and
+        must reach the new owner rather than the abandoned source copy.
+        """
+        source = self.shard_replicas[migration.source]
+        frozen = source._frozen
+        if frozen is None:
+            return
+        shard_of = self.router.shard_of
+        replicas = self.shard_replicas
+
+        def forward(op: Operation, callback: Any) -> None:
+            replicas[shard_of(op.key)].submit_local((op, callback))
+
+        for op, callback in frozen.begin_forwarding(forward):
+            forward(op, callback)
+
     # ------------------------------------------------------------- dispatch
     def on_message(self, src: NodeId, message: Any) -> None:
         if type(message) is not tuple:
+            if isinstance(message, MembershipMessage):
+                if type(message) is MigrationCopy:
+                    self._start_copy(message)
+                    return
+                agent = self.membership_agent
+                if agent is not None:
+                    agent.handle(src, message)
+                    return
             raise SimulationError(
                 f"sharded node {self.node_id} received an unenveloped message "
-                f"{type(message).__name__!r} (membership-service traffic is not "
-                f"supported on sharded clusters)"
+                f"{type(message).__name__!r} (enable the membership service to "
+                f"deliver membership traffic to sharded clusters)"
             )
         shard, inner = message
         self.shard_replicas[shard].on_message(src, inner)

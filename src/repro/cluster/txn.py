@@ -61,6 +61,19 @@ callback is lost with the node, so the transaction is never reported
 committed — the atomicity checker only constrains transactions whose
 clients observed a response.
 
+When the RM membership service is running, a **view change** resolves
+stranded transactions ahead of the timeouts (see
+:meth:`TxnCoordinator.on_view_change` / :meth:`TxnParticipant.on_view_change`,
+invoked from the m-update fan-out): participants abort prepared
+transactions whose coordinator left the view or whose lock mastership
+moved — releasing the orphaned locks and resuming parked plain operations
+immediately — and coordinators resolve transactions whose dispatched lock
+master is no longer a member (abort when no commit was decided, the
+indeterminate ``TIMEOUT`` outcome otherwise). The shard's new lock master
+starts from this released state: its lock table is empty because every
+stranded lock was torn down at the view change. The timeouts remain as the
+backstop for runs without the membership service.
+
 Consistency model: transactions are serializable **with respect to each
 other** (strict two-phase locking at per-shard lock masters). Plain
 single-key operations remain linearizable per key; those submitted at the
@@ -289,6 +302,7 @@ class TxnParticipant:
         self.prepare_timeouts = 0
         self.ops_parked = 0
         self.write_failures = 0
+        self.view_change_aborts = 0
 
     # ----------------------------------------------------------- dispatch
     def handle(self, message: TxnMessage) -> None:
@@ -305,6 +319,45 @@ class TxnParticipant:
         """Queue a plain operation behind the lock on its key."""
         self.ops_parked += 1
         self.waiters.setdefault(op.key, []).append((op, callback))
+
+    def on_view_change(self, view: Any) -> None:
+        """Abort prepared transactions stranded by a membership change.
+
+        Two cases strand a prepared (not yet committing) transaction here:
+        its coordinator's node left the view (the decision will never
+        arrive), or this replica stopped being its shard's lock master (the
+        member removal shifted the rotated role ring, so coordinators now
+        lock at another node). Both abort immediately — locks release and
+        parked plain operations resume — instead of waiting for the
+        prepare timeout; the new lock master starts from this released
+        state (its lock table is empty because every lock the old masters
+        held is torn down here). Transactions already committing finish
+        unconditionally, exactly as under a coordinator crash.
+        """
+        if not self.prepared:
+            return
+        members = sorted(view.members)
+        replica = self.replica
+        still_master = bool(members) and (
+            members[replica.shard_id % len(members)] == replica.node_id
+        )
+        for txn_id in list(self.prepared):
+            state = self.prepared.get(txn_id)
+            if state is None or state.committing:
+                continue
+            if not still_master or state.coordinator not in view.members:
+                self.view_change_aborts += 1
+                self._teardown(state)
+                if state.single and state.coordinator in view.members:
+                    # Fast-path transactions resolve through their reply
+                    # (the coordinator cannot tell an aborted visit from
+                    # one whose reply was lost): tell the coordinator the
+                    # visit applied nothing.
+                    self._send_to(
+                        state.coordinator,
+                        TxnSingleReply(state.txn_id, False),
+                        _CONTROL_BYTES,
+                    )
 
     # ------------------------------------------------------------ phase 1
     def _try_lock(self, txn_id: int, ops: List[Operation]) -> Optional[List[Key]]:
@@ -327,7 +380,11 @@ class TxnParticipant:
         self.prepares_received += 1
         replica = self.replica
         txn_id = msg.txn_id
-        if not replica.is_operational():
+        if (
+            not replica.is_operational()
+            or not self._is_lock_master()
+            or self._frozen_conflict(msg.ops)
+        ):
             self._send_to(msg.coordinator, TxnVote(txn_id, msg.shard, False), _CONTROL_BYTES)
             return
         keys = self._try_lock(txn_id, msg.ops)
@@ -453,7 +510,11 @@ class TxnParticipant:
     def _on_single(self, msg: TxnSingle) -> None:
         self.prepares_received += 1
         replica = self.replica
-        if not replica.is_operational():
+        if (
+            not replica.is_operational()
+            or not self._is_lock_master()
+            or self._frozen_conflict(msg.ops)
+        ):
             self._send_to(msg.coordinator, TxnSingleReply(msg.txn_id, False), _CONTROL_BYTES)
             return
         keys = self._try_lock(msg.txn_id, msg.ops)
@@ -466,6 +527,34 @@ class TxnParticipant:
         self.prepared[msg.txn_id] = state
         state.timer = replica.set_timer(self.prepare_timeout, self._prepare_expired, msg.txn_id)
         self._start_reads(state, [op for op in msg.ops if op.op_type is OpType.READ])
+
+    def _is_lock_master(self) -> bool:
+        """Whether this replica masters its shard under *its current* view.
+
+        A demoted master must reject new prepares: during the brief window
+        where nodes install an m-update at different instants, a
+        coordinator still on the old view may lock at the old master while
+        another (on the new view) locks at the new one — two lock points
+        for one shard would break the strict-2PL serialization. The check
+        is the rotated role ring's head, which is cached per view object.
+        """
+        replica = self.replica
+        ring = replica.role_ring()
+        return bool(ring) and ring[0] == replica.node_id
+
+    def _frozen_conflict(self, ops: List[Operation]) -> bool:
+        """Whether any key is frozen by an in-flight shard migration.
+
+        Migrating keys cannot take new locks: the transaction votes NO (a
+        plain abort, retriable by the client) rather than holding locks
+        across the routing flip — after which this replica no longer owns
+        the keys.
+        """
+        frozen = self.replica._frozen
+        if frozen is None:
+            return False
+        matches = frozen.matches
+        return any(matches(op.key) for op in ops)
 
     # ------------------------------------------------------------ timeouts
     def _prepare_expired(self, txn_id: int) -> None:
@@ -546,6 +635,7 @@ class _CoordinatorTxn:
         "txn",
         "callback",
         "by_shard",
+        "masters",
         "awaiting_votes",
         "awaiting_acks",
         "values",
@@ -559,6 +649,10 @@ class _CoordinatorTxn:
         self.txn = txn
         self.callback = callback
         self.by_shard = by_shard
+        #: Shard -> the lock-master node each message was dispatched to,
+        #: recorded at dispatch time so a view change can tell which
+        #: participants this transaction actually talked to.
+        self.masters: Dict[int, NodeId] = {}
         self.awaiting_votes: Set[int] = set()
         self.awaiting_acks: Set[int] = set()
         self.values: Dict[int, Value] = {}
@@ -588,7 +682,11 @@ class TxnCoordinator:
             self._sharded = False
             reference = node
             self.num_shards = 1
-        self._router = ShardRouter(self.num_shards)
+        # Sharded nodes route through their host's epoch-versioned router
+        # so transactions follow live shard migrations the instant the
+        # routing flip installs on this node.
+        router = getattr(node, "router", None)
+        self._router = router if router is not None else ShardRouter(self.num_shards)
         self._reference = reference
         # masters cache, invalidated by view-object identity (views are
         # frozen; every membership change installs a new one) — all
@@ -606,6 +704,7 @@ class TxnCoordinator:
         self.txns_timedout = 0
         self.txns_fastpath = 0
         self.txns_cross_shard = 0
+        self.txns_view_aborted = 0
 
     @property
     def masters(self) -> List[NodeId]:
@@ -656,6 +755,7 @@ class TxnCoordinator:
             self.txns_fastpath += 1
             ((shard, ops),) = by_shard.items()
             self._dispatch(
+                state,
                 shard,
                 TxnSingle(txn.txn_id, self.node.node_id, shard, ops),
                 ops_wire_size(ops, self._key_size, self._value_size),
@@ -665,6 +765,7 @@ class TxnCoordinator:
         state.awaiting_votes = set(by_shard)
         for shard, ops in by_shard.items():
             self._dispatch(
+                state,
                 shard,
                 TxnPrepare(txn.txn_id, self.node.node_id, shard, ops),
                 ops_wire_size(ops, self._key_size, self._value_size),
@@ -681,8 +782,15 @@ class TxnCoordinator:
         elif cls is TxnSingleReply:
             self._on_single_reply(message)
 
-    def _dispatch(self, shard: int, message: TxnMessage, size: int) -> None:
+    def _dispatch(
+        self, state: Optional["_CoordinatorTxn"], shard: int, message: TxnMessage, size: int
+    ) -> None:
         master = self.masters[shard]
+        if state is not None:
+            state.masters[shard] = master
+        self._dispatch_to(master, shard, message, size)
+
+    def _dispatch_to(self, master: NodeId, shard: int, message: TxnMessage, size: int) -> None:
         node = self.node
         payload: Any = (shard, message) if self._sharded else message
         if master == node.node_id:
@@ -705,15 +813,17 @@ class TxnCoordinator:
         if state.no_vote:
             # Abort: release YES-voters. NO-voters hold no locks. The acks
             # for aborts carry nothing the client needs, so the transaction
-            # completes now.
-            for shard in state.by_shard:
-                self._dispatch(shard, TxnDecision(msg.txn_id, shard, False), _CONTROL_BYTES)
+            # completes now. Decisions go to the dispatch-time masters —
+            # the nodes that actually hold the prepared state, even if a
+            # view change has since moved the mastership.
+            for shard, master in state.masters.items():
+                self._dispatch_to(master, shard, TxnDecision(msg.txn_id, shard, False), _CONTROL_BYTES)
             self._complete(state, OpStatus.ABORTED)
             return
         state.decided_commit = True
         state.awaiting_acks = set(state.by_shard)
-        for shard in state.by_shard:
-            self._dispatch(shard, TxnDecision(msg.txn_id, shard, True), _CONTROL_BYTES)
+        for shard, master in state.masters.items():
+            self._dispatch_to(master, shard, TxnDecision(msg.txn_id, shard, True), _CONTROL_BYTES)
 
     def _on_ack(self, msg: TxnAck) -> None:
         state = self._active.get(msg.txn_id)
@@ -741,9 +851,10 @@ class TxnCoordinator:
             return
         if not state.decided_commit:
             # No commit was ever decided: YES-voters release their locks
-            # and nothing was applied anywhere.
-            for shard in state.by_shard:
-                self._dispatch(shard, TxnDecision(txn_id, shard, False), _CONTROL_BYTES)
+            # and nothing was applied anywhere. Aborts go to the
+            # dispatch-time masters (where the prepares went).
+            for shard, master in state.masters.items():
+                self._dispatch_to(master, shard, TxnDecision(txn_id, shard, False), _CONTROL_BYTES)
         # Either way the outcome is TIMEOUT, not OK: with a commit decided
         # but unacked, a crashed lock master may never have applied its
         # writes, so the transaction cannot be reported atomically
@@ -751,6 +862,65 @@ class TxnCoordinator:
         # checker constrains neither its visibility nor its invisibility
         # (like an operation that never returned).
         self._complete(state, OpStatus.TIMEOUT)
+
+    def on_view_change(self, view: Any) -> None:
+        """Resolve in-flight transactions stranded by a membership change.
+
+        A transaction that dispatched to a lock master no longer in the
+        view cannot make progress: the departed master's votes/acks will
+        never arrive. Instead of waiting for the coordinator timeout, the
+        transaction resolves now:
+
+        * **Cross-shard, no commit decided** — nothing was applied
+          anywhere, so the outcome is a clean ``ABORTED``; abort decisions
+          go to the dispatch-time masters still in the view (participants
+          whose mastership merely *moved* also strand prepared state —
+          they release on their own view-change hook, and the coordinator
+          aborts here rather than deciding a commit no one can apply).
+        * **Commit decided, a dispatched master dead** — surviving
+          participants apply unconditionally but the dead master's writes
+          may be lost: the indeterminate ``TIMEOUT`` outcome.
+        * **Fast path (single-shard)** — the one visit both locks and
+          applies, so an undelivered reply from a dead master is
+          indeterminate (``TIMEOUT``, exactly like ``_expired``); a live
+          but demoted master replies on its own (a view-change abort sends
+          an explicit failure reply), so those resolve through the normal
+          message flow.
+        """
+        if not self._active:
+            return
+        members = view.members
+        current = self.masters
+        for txn_id in list(self._active):
+            state = self._active.get(txn_id)
+            if state is None:
+                continue
+            dead = any(m not in members for m in state.masters.values())
+            moved = any(
+                m in members and m != current[shard]
+                for shard, m in state.masters.items()
+            )
+            if not dead and not moved:
+                continue
+            if len(state.by_shard) == 1:
+                if dead:
+                    self.txns_view_aborted += 1
+                    self._complete(state, OpStatus.TIMEOUT)
+                continue
+            if state.decided_commit:
+                if dead:
+                    self.txns_view_aborted += 1
+                    self._complete(state, OpStatus.TIMEOUT)
+                # Moved-only with a commit decided: the decisions went to
+                # the dispatch-time masters, which finish and ack normally.
+                continue
+            self.txns_view_aborted += 1
+            for shard, master in state.masters.items():
+                if master in members:
+                    self._dispatch_to(
+                        master, shard, TxnDecision(txn_id, shard, False), _CONTROL_BYTES
+                    )
+            self._complete(state, OpStatus.ABORTED)
 
     def _complete(self, state: _CoordinatorTxn, status: OpStatus) -> None:
         if state.timer is not None:

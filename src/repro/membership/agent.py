@@ -61,6 +61,10 @@ class MembershipAgent:
         self._on_view_change = on_view_change
         expires = math.inf if static_lease else 0.0
         self.lease = Lease(epoch_id=initial_view.epoch_id, expires_at=expires)
+        #: True when a running RM service owns this agent's leases. Only
+        #: then does a crash invalidate the lease on recovery — without a
+        #: service there is nothing to re-grant it (static mode).
+        self.service_driven = False
         # One Paxos acceptor per reconfiguration instance, keyed by the epoch
         # being decided (i.e. current epoch + 1, +2, ... under retries).
         self._acceptors: Dict[int, PaxosAcceptor] = {}
@@ -86,6 +90,17 @@ class MembershipAgent:
     def epoch_id(self) -> int:
         """The epoch of the currently installed view."""
         return self.view.epoch_id
+
+    def invalidate_lease(self) -> None:
+        """Expire the lease immediately (a restarted process holds none).
+
+        Called on node recovery when an RM service drives this agent: the
+        replica may not serve again until a fresh lease or m-update
+        arrives — and if the membership moved on while the node was down,
+        neither ever will (the service only grants to view members), so a
+        removed node stays non-operational after it restarts.
+        """
+        self.lease = Lease(epoch_id=self.view.epoch_id, expires_at=0.0)
 
     # -------------------------------------------------------------- messages
     def handle(self, src: NodeId, message: MembershipMessage) -> bool:

@@ -8,10 +8,10 @@ MembershipAgent` without inspecting individual types.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Tuple
+from typing import Any, Dict, Optional
 
-from repro.membership.view import MembershipView
-from repro.types import NodeId
+from repro.membership.view import MembershipView, ShardMigration
+from repro.types import Key, NodeId, Value
 
 #: Approximate wire size of small control messages, in bytes.
 CONTROL_MESSAGE_BYTES = 24
@@ -58,11 +58,15 @@ class Prepare(MembershipMessage):
 
 @dataclass
 class Promise(MembershipMessage):
-    """Paxos phase-1b message."""
+    """Paxos phase-1b message.
+
+    ``accepted_value`` is a previously accepted :class:`MembershipView`
+    (opaque to the Paxos machinery).
+    """
 
     ballot: int = 0
     accepted_ballot: Optional[int] = None
-    accepted_value: Optional[Tuple[int, FrozenSet[NodeId]]] = None
+    accepted_value: Optional[Any] = None
 
 
 @dataclass
@@ -70,7 +74,7 @@ class Accept(MembershipMessage):
     """Paxos phase-2a message carrying the proposed new view."""
 
     ballot: int = 0
-    value: Tuple[int, FrozenSet[NodeId]] = field(default_factory=tuple)  # type: ignore[assignment]
+    value: Any = None
 
 
 @dataclass
@@ -93,3 +97,39 @@ class MUpdate(MembershipMessage):
 
     view: MembershipView = None  # type: ignore[assignment]
     lease_duration: float = 0.0
+
+
+@dataclass
+class MigrationFrozen(MembershipMessage):
+    """A node reports its source-shard replica frozen and quiescent.
+
+    Sent to the RM service after a ``preparing`` shard map was installed
+    and the node's in-flight writes on the migrated keys drained.
+    """
+
+    epoch_id: int = 0
+
+
+@dataclass
+class MigrationCopy(MembershipMessage):
+    """Instruct the source shard's lock-master node to copy the frozen keys."""
+
+    epoch_id: int = 0
+    migration: Optional[ShardMigration] = None
+
+
+@dataclass
+class MigrationCopied(MembershipMessage):
+    """The copy node reports the migrated keys applied at the target shard.
+
+    ``values`` carries the frozen per-key values the copy transferred —
+    the pre-migration state the migration-atomicity checker anchors on.
+    It is observer metadata, not wire payload: a real copy node keeps the
+    frozen manifest locally (the data itself already travelled through the
+    target shard's replicated writes) and acks the service with a control
+    message, so this message is costed at control size — the freeze→flip
+    window must not scale with the migrated slice.
+    """
+
+    epoch_id: int = 0
+    values: Dict[Key, Value] = field(default_factory=dict)

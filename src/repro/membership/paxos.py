@@ -7,18 +7,20 @@ and agents drive them by exchanging the messages defined in
 :mod:`repro.membership.messages`.
 
 Each membership epoch is decided by an independent single-decree Paxos
-instance whose value is the ``(epoch_id, members)`` pair of the new view.
+instance whose value is the proposed :class:`~repro.membership.view.
+MembershipView` itself (epoch, members and — on sharded clusters — the
+shard map); the value is opaque to the Paxos machinery.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Set, Tuple
+from typing import Any, Optional, Set, Tuple
 
 from repro.types import NodeId
 
-#: A Paxos value: the proposed (epoch_id, members) pair.
-ViewValue = Tuple[int, FrozenSet[NodeId]]
+#: A Paxos value: the proposed view (opaque to acceptors and proposers).
+ViewValue = Any
 
 
 @dataclass

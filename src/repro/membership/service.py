@@ -6,6 +6,23 @@ conservative timeout, waits for the expiry of outstanding leases, decides the
 new membership through a majority-based Paxos round among the surviving
 replicas, and installs the resulting m-update on every live replica.
 
+On sharded clusters the same per-node agent/detector/Paxos stack serves all
+co-hosted shards: the service pings *nodes*, each node's
+:class:`~repro.cluster.sharding.ShardHost` answers for every shard it hosts,
+and an installed m-update fans out to every shard replica on the node.
+
+The service also drives **live shard migrations**: a planned rebalance is a
+pair of Paxos-decided view changes. The first installs a ``preparing``
+shard map (nodes freeze the migrated keys and report quiescence via
+:class:`~repro.membership.messages.MigrationFrozen`); once every node is
+frozen the service instructs the source shard's lock-master node to copy the
+keys into the target shard through its normal replicated write path
+(:class:`~repro.membership.messages.MigrationCopy` /
+:class:`~repro.membership.messages.MigrationCopied`); the second view change
+flips the routing epoch (``active``), at which point nodes re-route and
+release the parked operations. Progress requires the usual Paxos majority,
+so the flip is as fault-tolerant as any other membership update.
+
 The service is itself a :class:`~repro.sim.node.NodeProcess` so that its
 messages traverse the simulated network and experience realistic delays —
 this is what produces the unavailability window visible in Figure 9.
@@ -23,6 +40,9 @@ from repro.membership.messages import (
     Accepted,
     LeaseGrant,
     MembershipMessage,
+    MigrationCopied,
+    MigrationCopy,
+    MigrationFrozen,
     MUpdate,
     Nack,
     Ping,
@@ -31,11 +51,53 @@ from repro.membership.messages import (
     Promise,
 )
 from repro.membership.paxos import PaxosProposer
-from repro.membership.view import MembershipView
+from repro.membership.view import (
+    SHARD_MAP_ACTIVE,
+    SHARD_MAP_CANCELLED,
+    SHARD_MAP_PREPARING,
+    MembershipView,
+    ShardMap,
+    ShardMigration,
+)
 from repro.sim.engine import Simulator
 from repro.sim.network import Network
 from repro.sim.node import NodeProcess, ServiceTimeModel
-from repro.types import NodeId
+from repro.types import Key, NodeId, Value
+
+
+@dataclass
+class PlannedMigration:
+    """A live shard migration the RM service starts at a simulated time.
+
+    Attributes:
+        at_time: Absolute simulated time to begin the rebalance.
+        migration: What moves (see :class:`ShardMigration`).
+    """
+
+    at_time: float
+    migration: ShardMigration
+
+
+@dataclass
+class MigrationRecord:
+    """What one completed migration looked like (checker + figure input).
+
+    Attributes:
+        migration: The migrated slice.
+        freeze_time: When the ``preparing`` view was installed (sent).
+        frozen_time: When every node had reported its keys quiescent.
+        copied_time: When the copy node reported the transfer applied.
+        flip_time: When the ``active`` view was installed (sent).
+        values: Frozen per-key values the copy transferred — the
+            pre-migration state of the moved keys.
+    """
+
+    migration: ShardMigration
+    freeze_time: float = 0.0
+    frozen_time: float = 0.0
+    copied_time: float = 0.0
+    flip_time: float = 0.0
+    values: Dict[Key, Value] = field(default_factory=dict)
 
 
 @dataclass
@@ -48,12 +110,14 @@ class MembershipConfig:
             the lease duration so live nodes never observe an expired lease).
         detection: Failure detector settings (ping interval / timeout).
         service_node_id: Node id used by the RM service on the network.
+        migrations: Planned live shard migrations (sharded clusters only).
     """
 
     lease_duration: float = 40e-3
     renewal_interval: float = 10e-3
     detection: FailureDetectorConfig = field(default_factory=FailureDetectorConfig)
     service_node_id: NodeId = 10_000
+    migrations: List[PlannedMigration] = field(default_factory=list)
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` for invalid settings."""
@@ -66,6 +130,17 @@ class MembershipConfig:
 
 class MembershipService(NodeProcess):
     """Drives failure detection, lease renewal and membership reconfiguration."""
+
+    #: Delay before retrying a migration start that collided with an
+    #: in-flight reconfiguration.
+    _MIGRATION_RETRY = 5e-3
+
+    #: Watchdog on the freeze/copy handshake: a migration that has not
+    #: flipped within this window is cancelled (a node likely crashed
+    #: mid-handshake), so failure reconfiguration is never blocked
+    #: indefinitely behind a stuck rebalance. Orders of magnitude above a
+    #: healthy freeze+copy (~1 ms) and below the failure-detection window.
+    _MIGRATION_TIMEOUT = 60e-3
 
     def __init__(
         self,
@@ -91,24 +166,35 @@ class MembershipService(NodeProcess):
         self._reconfiguring = False
         self._pending_removals: Set[NodeId] = set()
         self._proposer: Optional[PaxosProposer] = None
+        self._acceptors: frozenset = frozenset()
+        self._accept_broadcast_done = False
         self._started = False
         self.reconfigurations = 0
         #: Times at which each epoch became installed (for Figure 9 analysis).
         self.reconfiguration_times: List[float] = []
+        # ---- migration orchestration state.
+        self._migrating: Optional[MigrationRecord] = None
+        self._frozen_acks: Set[NodeId] = set()
+        self.migrations_completed = 0
+        self.migrations_cancelled = 0
+        #: One record per completed migration, in completion order.
+        self.migration_records: List[MigrationRecord] = []
 
     # ----------------------------------------------------------------- start
     def start(self) -> None:
-        """Begin pinging, lease renewal and failure monitoring."""
+        """Begin pinging, lease renewal, failure monitoring and migrations."""
         if self._started:
             return
         self._started = True
         self._grant_leases()
         self.set_timer(self.config.detection.ping_interval, self._ping_tick)
         self.set_timer(self.config.renewal_interval, self._lease_tick)
+        for plan in self.config.migrations:
+            self.set_timer(max(0.0, plan.at_time - self.sim.now), self._start_migration, plan)
 
     # ----------------------------------------------------------- NodeProcess
     def on_message(self, src: NodeId, message: MembershipMessage) -> None:
-        """Handle replies from replicas (pongs and Paxos responses)."""
+        """Handle replies from replicas (pongs, Paxos and migration acks)."""
         if isinstance(message, Pong):
             self.detector.record_heartbeat(src, self.sim.now)
             return
@@ -120,6 +206,12 @@ class MembershipService(NodeProcess):
             return
         if isinstance(message, Nack):
             self._on_nack(message)
+            return
+        if isinstance(message, MigrationFrozen):
+            self._on_migration_frozen(src, message)
+            return
+        if isinstance(message, MigrationCopied):
+            self._on_migration_copied(message)
             return
         # Other message kinds are not expected at the service; ignore them.
 
@@ -147,7 +239,9 @@ class MembershipService(NodeProcess):
 
     # ----------------------------------------------------- failure handling
     def _check_failures(self) -> None:
-        if self._reconfiguring:
+        if self._reconfiguring or self._migrating is not None:
+            # One reconfiguration at a time; a crash during a migration is
+            # picked up on the next ping tick after the flip completes.
             return
         suspected = self.detector.suspected(self.sim.now) & self.view.members
         if not suspected:
@@ -167,15 +261,34 @@ class MembershipService(NodeProcess):
             # Total failure: nothing to reconfigure onto.
             self._reconfiguring = False
             return
-        new_view = MembershipView(epoch_id=self.view.epoch_id + 1, members=frozenset(survivors))
+        # Failure views carry the current shard map unchanged: routing does
+        # not move when a node dies, only the membership does.
+        new_view = MembershipView(
+            epoch_id=self.view.epoch_id + 1,
+            members=frozenset(survivors),
+            shard_map=self.view.shard_map,
+        )
+        self._propose(new_view, acceptors=survivors)
+
+    # --------------------------------------------------------------- Paxos
+    def _propose(self, new_view: MembershipView, acceptors: Set[NodeId]) -> None:
+        """Start a Paxos round deciding ``new_view`` among ``acceptors``.
+
+        Proposals are serialized through ``_reconfiguring`` (cleared when
+        the chosen view installs), so a failure reconfiguration can never
+        clobber an in-flight migration round or vice versa.
+        """
+        self._reconfiguring = True
+        self._acceptors = frozenset(acceptors)
         self._proposer = PaxosProposer(
             proposer_id=self.node_id,
-            num_acceptors=len(survivors),
-            value=(new_view.epoch_id, new_view.members),
+            num_acceptors=len(self._acceptors),
+            value=new_view,
         )
+        self._accept_broadcast_done = False
         ballot = self._proposer.start_round()
         prepare = Prepare(ballot=ballot)
-        for node in survivors:
+        for node in self._acceptors:
             self.send(node, prepare, prepare.size_bytes)
 
     def _on_promise(self, src: NodeId, message: Promise) -> None:
@@ -184,14 +297,11 @@ class MembershipService(NodeProcess):
         quorum = self._proposer.on_promise(
             src, message.ballot, message.accepted_ballot, message.accepted_value
         )
-        if quorum and self._proposer.chosen_value is None and not self._accept_sent():
+        if quorum and self._proposer.chosen_value is None and not self._accept_broadcast_done:
             accept = Accept(ballot=self._proposer.ballot, value=self._proposer.value)
-            for node in self.view.members - self._pending_removals:
+            for node in self._acceptors:
                 self.send(node, accept, accept.size_bytes)
             self._accept_broadcast_done = True
-
-    def _accept_sent(self) -> bool:
-        return getattr(self, "_accept_broadcast_done", False)
 
     def _on_accepted(self, src: NodeId, message: Accepted) -> None:
         if self._proposer is None:
@@ -205,17 +315,17 @@ class MembershipService(NodeProcess):
         ballot = self._proposer.on_nack(message.promised_ballot)
         self._accept_broadcast_done = False
         prepare = Prepare(ballot=ballot)
-        for node in self.view.members - self._pending_removals:
+        for node in self._acceptors:
             self.send(node, prepare, prepare.size_bytes)
 
     def _install_chosen_view(self) -> None:
         assert self._proposer is not None and self._proposer.chosen_value is not None
-        epoch_id, members = self._proposer.chosen_value
-        self.view = MembershipView(epoch_id=epoch_id, members=members)
+        view: MembershipView = self._proposer.chosen_value
+        self.view = view
         for node in self._pending_removals:
             self.detector.remove(node)
-        update = MUpdate(view=self.view, lease_duration=self.config.lease_duration)
-        for node in self.view.members:
+        update = MUpdate(view=view, lease_duration=self.config.lease_duration)
+        for node in view.members:
             self._last_lease_grant[node] = self.sim.now
             self.send(node, update, update.size_bytes)
         self.reconfigurations += 1
@@ -224,3 +334,140 @@ class MembershipService(NodeProcess):
         self._pending_removals = set()
         self._proposer = None
         self._accept_broadcast_done = False
+        self._after_install(view)
+
+    # ------------------------------------------------------------ migration
+    def _start_migration(self, plan: PlannedMigration) -> None:
+        if self._reconfiguring or self._migrating is not None:
+            # A failure reconfiguration (or another migration) is in flight:
+            # retry shortly. Migrations are rebalances — they can wait.
+            self.set_timer(self._MIGRATION_RETRY, self._start_migration, plan)
+            return
+        record = MigrationRecord(migration=plan.migration)
+        self._migrating = record
+        self._frozen_acks = set()
+        preparing = ShardMap(
+            epoch=self.view.epoch_id + 1,
+            migrations=self._applied_migrations() + (plan.migration,),
+            phase=SHARD_MAP_PREPARING,
+        )
+        new_view = MembershipView(
+            epoch_id=self.view.epoch_id + 1,
+            members=self.view.members,
+            shard_map=preparing,
+        )
+        self.set_timer(self._MIGRATION_TIMEOUT, self._migration_watchdog, record)
+        self._propose(new_view, acceptors=self.view.members)
+
+    def _applied_migrations(self):
+        """The cumulative migration chain already applied to routing."""
+        shard_map = self.view.shard_map
+        if shard_map is None:
+            return ()
+        migrations = shard_map.migrations
+        if shard_map.phase == SHARD_MAP_PREPARING and migrations:
+            # Should not occur (migrations are serialized), but never count
+            # an in-flight migration as applied.
+            return migrations[:-1]
+        return migrations
+
+    def _migration_watchdog(self, record: MigrationRecord) -> None:
+        """Cancel a migration stuck in its freeze/copy handshake.
+
+        A node that crashed between the ``preparing`` install and its
+        freeze/copy ack would otherwise stall the migration forever —
+        and with it all failure handling, which is serialized behind
+        reconfigurations. Cancelling installs a ``cancelled`` shard map:
+        nodes unfreeze (parked operations resume at the source shard,
+        routing never moved), and the crash is detected and handled on
+        the next ping tick. Once the copy has been acknowledged the
+        ``active`` round is already in flight and is left to finish —
+        cancelling then could race Paxos value adoption and flip routing
+        while the service records a cancellation.
+        """
+        if self._migrating is not record or record.flip_time or record.copied_time:
+            return  # completed (or past the point of no return) in time
+        self.migrations_cancelled += 1
+        self._migrating = None
+        self._frozen_acks = set()
+        chain = self._applied_migrations()
+        if chain and chain[-1] == record.migration:
+            chain = chain[:-1]
+        cancelled = ShardMap(
+            epoch=self.view.epoch_id + 1,
+            migrations=chain,
+            phase=SHARD_MAP_CANCELLED,
+            cancelled=record.migration,
+        )
+        new_view = MembershipView(
+            epoch_id=self.view.epoch_id + 1,
+            members=self.view.members,
+            shard_map=cancelled,
+        )
+        self._propose(new_view, acceptors=self.view.members)
+
+    def _after_install(self, view: MembershipView) -> None:
+        """Continue the migration state machine after a view installed."""
+        record = self._migrating
+        shard_map = view.shard_map
+        if shard_map is None:
+            return
+        if record is None:
+            if shard_map.phase == SHARD_MAP_PREPARING and shard_map.migrations:
+                # A watchdog-cancelled migration's preparing view surfaced
+                # anyway (Paxos value adoption from an earlier accept):
+                # cancel it immediately so nodes do not stay frozen. The
+                # watchdog already counted the cancellation.
+                cancelled = ShardMap(
+                    epoch=view.epoch_id + 1,
+                    migrations=shard_map.migrations[:-1],
+                    phase=SHARD_MAP_CANCELLED,
+                    cancelled=shard_map.migrations[-1],
+                )
+                self._propose(
+                    view.with_shard_map(cancelled), acceptors=view.members
+                )
+            return
+        if shard_map.phase == SHARD_MAP_PREPARING:
+            record.freeze_time = self.sim.now
+        elif shard_map.phase == SHARD_MAP_ACTIVE:
+            record.flip_time = self.sim.now
+            self.migrations_completed += 1
+            self.migration_records.append(record)
+            self._migrating = None
+            self._frozen_acks = set()
+
+    def _on_migration_frozen(self, src: NodeId, message: MigrationFrozen) -> None:
+        record = self._migrating
+        if record is None or message.epoch_id != self.view.epoch_id:
+            return
+        self._frozen_acks.add(src)
+        if not self.view.members.issubset(self._frozen_acks):
+            return
+        record.frozen_time = self.sim.now
+        # The copy is performed by the source shard's lock-master node
+        # (matching ReplicaNode.role_ring / TxnCoordinator.masters).
+        members = sorted(self.view.members)
+        copier = members[record.migration.source % len(members)]
+        copy = MigrationCopy(epoch_id=self.view.epoch_id, migration=record.migration)
+        self.send(copier, copy, copy.size_bytes)
+
+    def _on_migration_copied(self, message: MigrationCopied) -> None:
+        record = self._migrating
+        if record is None or message.epoch_id != self.view.epoch_id:
+            return
+        if record.copied_time:
+            return  # duplicate ack
+        record.copied_time = self.sim.now
+        record.values = dict(message.values)
+        active = ShardMap(
+            epoch=self.view.epoch_id + 1,
+            migrations=self._applied_migrations() + (record.migration,),
+            phase=SHARD_MAP_ACTIVE,
+        )
+        new_view = MembershipView(
+            epoch_id=self.view.epoch_id + 1,
+            members=self.view.members,
+            shard_map=active,
+        )
+        self._propose(new_view, acceptors=self.view.members)

@@ -1,18 +1,125 @@
-"""Membership views and leases.
+"""Membership views, shard maps and leases.
 
-A :class:`MembershipView` is the epoch-tagged set of live replicas. A
-:class:`Lease` is the time-bounded permission a replica holds to serve
+A :class:`MembershipView` is the epoch-tagged set of live replicas. On
+sharded clusters the view is *shard-aware*: it optionally carries a
+:class:`ShardMap` describing the key→shard routing epoch, which is how live
+shard migrations are propagated — a rebalance is just another Paxos-decided
+view change whose shard map moves a slice of one shard's key range to
+another shard (see :mod:`repro.cluster.sharding` for the execution side).
+
+A :class:`Lease` is the time-bounded permission a replica holds to serve
 requests under a given view; a replica whose lease has expired must stop
 serving until it obtains a fresh lease (paper §2.4).
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable
+from typing import FrozenSet, Iterable, Optional, Tuple
 
 from repro.errors import ConfigurationError
-from repro.types import NodeId
+from repro.types import Key, NodeId
+
+
+def shard_and_sub(key: Key, num_shards: int) -> "Tuple[int, int]":
+    """The (base shard, sub-index) of a key under stable hash partitioning.
+
+    The single source of truth for how keys split into a shard and a
+    within-shard sub-index: integers partition by modulo, other key types
+    by CRC-32 of their ``repr`` (stable across processes and Python hash
+    randomization). Freeze filters, migration copies and slice predicates
+    all build on this; :class:`repro.cluster.sharding.ShardRouter` inlines
+    the same arithmetic on its per-operation hot path — keep them in sync.
+    """
+    if type(key) is int:
+        return key % num_shards, key // num_shards
+    digest = zlib.crc32(repr(key).encode("utf-8"))
+    return digest % num_shards, digest // num_shards
+
+
+@dataclass(frozen=True)
+class ShardMigration:
+    """A transfer of part of one shard's key range to another shard.
+
+    The migrated slice is described declaratively so it travels compactly
+    inside views: of the keys hash-partitioned to ``source``, every key
+    whose sub-index (the key's position within the shard's range) is
+    congruent to ``offset`` modulo ``stride`` moves to ``target``. The
+    default ``stride=2, offset=0`` moves half of the source shard's range.
+
+    Attributes:
+        source: Shard currently owning the migrated keys.
+        target: Shard that owns them after the flip.
+        stride: Modulus of the sub-index filter selecting migrated keys.
+        offset: Residue of the sub-index filter.
+    """
+
+    source: int
+    target: int
+    stride: int = 2
+    offset: int = 0
+
+    def validate(self, num_shards: int) -> None:
+        """Raise :class:`ConfigurationError` for invalid settings."""
+        if not 0 <= self.source < num_shards or not 0 <= self.target < num_shards:
+            raise ConfigurationError(
+                f"migration shards must lie in [0, {num_shards}); "
+                f"got source={self.source}, target={self.target}"
+            )
+        if self.source == self.target:
+            raise ConfigurationError("migration source and target must differ")
+        if self.stride < 1 or not 0 <= self.offset < self.stride:
+            raise ConfigurationError("migration requires stride >= 1 and 0 <= offset < stride")
+
+    def matches(self, key: Key, num_shards: int) -> bool:
+        """Whether ``key`` belongs to the migrated slice, over the **base**
+        mapping.
+
+        Uses the same base hash as :class:`repro.cluster.sharding.ShardRouter`
+        (modulo for integer keys, CRC-32 otherwise). For a first migration
+        this is exactly the set the router re-routes after the flip; when
+        earlier migrations already moved keys, the execution layer
+        evaluates the slice against the routed chain instead (see
+        :func:`repro.cluster.sharding.migration_predicate`).
+        """
+        base, sub = shard_and_sub(key, num_shards)
+        return base == self.source and sub % self.stride == self.offset
+
+
+#: Phases a shard map moves through while a migration is in flight.
+SHARD_MAP_PREPARING = "preparing"
+SHARD_MAP_ACTIVE = "active"
+#: A migration abandoned before its flip (e.g. a node crashed mid-freeze):
+#: nodes unfreeze and release parked operations back to the source shard;
+#: routing never moved.
+SHARD_MAP_CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Epoch-tagged key→shard routing state carried by shard-aware views.
+
+    Attributes:
+        epoch: Routing epoch; routers only ever move forward to higher
+            epochs (:meth:`repro.cluster.sharding.ShardRouter.apply`).
+        migrations: The **cumulative** ordered migrations applied on top of
+            the base hash mapping — routers must retain every completed
+            rebalance, not only the newest, so each successive shard map
+            carries the whole chain. During ``preparing``/``active`` the
+            in-flight migration is ``migrations[-1]``.
+        phase: ``"preparing"`` while the migrated keys are frozen and
+            copied; ``"active"`` once routers must serve the new mapping;
+            ``"cancelled"`` when an in-flight migration was abandoned
+            (``migrations`` then excludes it — routing never moved).
+        cancelled: The abandoned migration of a ``cancelled`` map (nodes
+            use it to unfreeze the parked operations at its source).
+    """
+
+    epoch: int
+    migrations: Tuple[ShardMigration, ...] = ()
+    phase: str = SHARD_MAP_ACTIVE
+    cancelled: Optional[ShardMigration] = None
 
 
 @dataclass(frozen=True)
@@ -23,10 +130,13 @@ class MembershipView:
         epoch_id: Monotonically increasing configuration number. Messages are
             tagged with the sender's epoch and dropped on mismatch.
         members: The set of node ids considered live in this epoch.
+        shard_map: Key→shard routing state on sharded clusters (``None``
+            for unsharded deployments and sharded ones that never migrated).
     """
 
     epoch_id: int
     members: FrozenSet[NodeId]
+    shard_map: Optional[ShardMap] = None
 
     @classmethod
     def initial(cls, members: Iterable[NodeId]) -> "MembershipView":
@@ -41,11 +151,23 @@ class MembershipView:
         remaining = self.members - frozenset(failed)
         if not remaining:
             raise ConfigurationError("cannot remove every member from the view")
-        return MembershipView(epoch_id=self.epoch_id + 1, members=remaining)
+        return MembershipView(
+            epoch_id=self.epoch_id + 1, members=remaining, shard_map=self.shard_map
+        )
 
     def with_added(self, *joined: NodeId) -> "MembershipView":
         """A successor view with ``joined`` added and the epoch bumped."""
-        return MembershipView(epoch_id=self.epoch_id + 1, members=self.members | frozenset(joined))
+        return MembershipView(
+            epoch_id=self.epoch_id + 1,
+            members=self.members | frozenset(joined),
+            shard_map=self.shard_map,
+        )
+
+    def with_shard_map(self, shard_map: ShardMap) -> "MembershipView":
+        """A successor view installing ``shard_map`` with the epoch bumped."""
+        return MembershipView(
+            epoch_id=self.epoch_id + 1, members=self.members, shard_map=shard_map
+        )
 
     def contains(self, node: NodeId) -> bool:
         """Whether ``node`` is a member of this view."""

@@ -125,19 +125,32 @@ class ReplicaNode(NodeProcess):
         self.transport = transport or DirectTransport(self)
         self.tracer = tracer or Tracer(enabled=False)
         self.clock = clock or LooselySynchronizedClock(self.config.clock)
-        self.membership_agent = MembershipAgent(
-            node_id=node_id,
-            initial_view=view,
-            send=self._membership_send,
-            local_clock=self.local_time,
-            on_view_change=self._view_changed,
-            static_lease=True,
-        )
+        host_agent = getattr(host, "membership_agent", None) if host is not None else None
+        if host_agent is not None:
+            # Sharded cluster with the RM service: one per-node agent
+            # (owned by the ShardHost) serves every co-hosted shard — the
+            # host fans installed views out to each guest's _view_changed.
+            self.membership_agent = host_agent
+        else:
+            self.membership_agent = MembershipAgent(
+                node_id=node_id,
+                initial_view=view,
+                send=self._membership_send,
+                local_clock=self.local_time,
+                on_view_change=self._view_changed,
+                static_lease=True,
+            )
         #: Transaction-layer state (see :mod:`repro.cluster.txn`): the
         #: lock-master participant is created lazily on the first
         #: transaction message, so transaction-free runs pay only this
         #: ``None`` check per client operation.
         self._txn_participant = None
+        #: Live-migration freeze filter (see
+        #: :class:`repro.cluster.sharding.FrozenKeys`): non-``None`` only
+        #: between a migration's ``preparing`` install and its flip, when
+        #: client operations on the migrated keys park here. Runs that
+        #: never migrate pay one ``None`` check per client operation.
+        self._frozen = None
         #: Counters exposed to the analysis layer.
         self.ops_completed = 0
         self.reads_served_locally = 0
@@ -154,6 +167,18 @@ class ReplicaNode(NodeProcess):
     def local_time(self) -> float:
         """This node's loosely synchronized clock reading."""
         return self.clock.read(self.sim.now)
+
+    # --------------------------------------------------------------- faults
+    def recover(self) -> None:
+        """Recover the node; under an RM service the lease does not survive.
+
+        Guests never reach this override (their ``recover`` delegates to
+        the host, which applies the same rule to the shared agent).
+        """
+        super().recover()
+        agent = self.membership_agent
+        if agent.service_driven:
+            agent.invalidate_lease()
 
     # ----------------------------------------------------------- client API
     def submit(self, op: Operation, callback: ClientCallback) -> None:
@@ -198,6 +223,12 @@ class ReplicaNode(NodeProcess):
             # master: queue behind the lock (released when the transaction
             # commits or aborts) instead of interleaving with it.
             participant.park(op, callback)
+            return
+        frozen = self._frozen
+        if frozen is not None and frozen.matches(op.key):
+            # The key is (or was) migrating to another shard: park until
+            # the routing flip, or forward to the new owner after it.
+            frozen.admit(op, callback)
             return
         self.handle_client_op(op, callback)
         transport = self.transport
@@ -320,7 +351,31 @@ class ReplicaNode(NodeProcess):
     def _view_changed(self, view: MembershipView) -> None:
         self.view = view
         self.tracer.record(self.sim.now, self.node_id, "view-change", epoch=view.epoch_id)
+        participant = self._txn_participant
+        if participant is not None:
+            # Lock-master recovery: abort transactions stranded by the view
+            # change and release their locks *before* the protocol reacts,
+            # so parked plain operations resume under the new view.
+            participant.on_view_change(view)
+        if self._host is None:
+            # Unsharded replicas are their own node: run the per-node 2PC
+            # coordinator hook here (ShardHost runs it once per node).
+            coordinator = self._txn_coordinator
+            if coordinator is not None:
+                coordinator.on_view_change(view)
         self.on_view_change(view)
+
+    # ---------------------------------------------------------- migration
+    def freeze_keys(self, frozen) -> None:
+        """Install a migration freeze filter.
+
+        The filter parks migrated-key operations until the routing flip
+        and forwards late arrivals to the new owner afterwards; the host
+        removes or restores it on cancellation (see
+        :class:`repro.cluster.sharding.FrozenKeys` and
+        ``ShardHost._cancel_freeze``).
+        """
+        self._frozen = frozen
 
 
 #: Registry mapping protocol names to replica classes, for the bench harness.

@@ -15,9 +15,13 @@ executions:
 * :mod:`repro.verification.transactions` — multi-key transaction
   atomicity: aborted transactions invisible, committed transactions free
   of fractured reads (see :mod:`repro.cluster.txn`).
+* :mod:`repro.verification.migration` — live shard-migration atomicity:
+  no operation observes pre-migration state after the routing flip (see
+  :mod:`repro.cluster.sharding`).
 """
 
 from repro.verification.history import CompletedOperation, History, TransactionRecord
+from repro.verification.migration import MigrationCheckResult, check_migration
 from repro.verification.invariants import (
     check_no_pending_updates,
     check_replica_convergence,
@@ -30,9 +34,11 @@ __all__ = [
     "CompletedOperation",
     "History",
     "LinearizabilityChecker",
+    "MigrationCheckResult",
     "TransactionRecord",
     "TxnCheckResult",
     "check_history",
+    "check_migration",
     "check_no_pending_updates",
     "check_replica_convergence",
     "check_transactions",

@@ -227,11 +227,17 @@ def test_failure_injector_crash_and_recover_on_sharded_cluster():
     assert not any(cluster.shard_replicas[(0, s)].crashed for s in range(2))
 
 
-def test_membership_service_rejected_on_sharded_clusters():
-    with pytest.raises(ConfigurationError):
-        Cluster(
-            ClusterConfig(protocol="hermes", num_replicas=3, shards=2, run_membership_service=True)
-        )
+def test_membership_service_supported_on_sharded_clusters():
+    # Shard-aware membership: a sharded cluster with the RM service builds
+    # one per-node agent (owned by the ShardHost) shared by every guest.
+    cluster = Cluster(
+        ClusterConfig(protocol="hermes", num_replicas=3, shards=2, run_membership_service=True)
+    )
+    for node_id, host in cluster.hosts.items():
+        assert host.membership_agent is not None
+        for replica in host.shard_replicas:
+            assert replica.membership_agent is host.membership_agent
+    assert cluster.membership_service is not None
 
 
 def test_parallel_mode_rejects_open_loop_clients():
