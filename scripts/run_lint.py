@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the determinism & aliasing linter (CI `lint` job).
+
+Runs :mod:`repro.analysis.lint` over the repository's Python trees without
+requiring the package to be installed: the ``src/`` layout directory is put
+on ``sys.path`` directly, matching how the test suite and the other scripts
+run. With no arguments it lints the default trees against the committed
+baseline and writes the JSON report CI uploads::
+
+    python scripts/run_lint.py
+    # equivalent to:
+    #   PYTHONPATH=src python -m repro.analysis.lint src/ scripts/ benchmarks/ \
+    #       --baseline lint-baseline.json --json lint-report.json
+
+Arguments are passed straight through to the linter CLI, so targeted runs
+work too: ``python scripts/run_lint.py src/repro/sim/ --json -``.
+
+No dependencies beyond the standard library (repo no-install policy).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.lint import main as lint_main  # noqa: E402
+
+#: Trees linted by default (benchmarks/ may not exist in sparse checkouts).
+DEFAULT_PATHS = ("src", "scripts", "benchmarks")
+
+
+def main(argv: list[str]) -> int:
+    if argv and not argv[0].startswith("-"):
+        # Explicit paths given: pure pass-through.
+        return lint_main(argv)
+    paths = [str(REPO_ROOT / p) for p in DEFAULT_PATHS if (REPO_ROOT / p).is_dir()]
+    args = paths + [
+        "--baseline",
+        str(REPO_ROOT / "lint-baseline.json"),
+        "--json",
+        str(REPO_ROOT / "lint-report.json"),
+    ]
+    return lint_main(args + argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

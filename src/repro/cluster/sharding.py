@@ -510,7 +510,18 @@ class ShardHost(NodeProcess):
                 f"deliver membership traffic to sharded clusters)"
             )
         shard, inner = message
-        self.shard_replicas[shard].on_message(src, inner)
+        replica = self.shard_replicas[shard]
+        san = self._sanitizer
+        if san is None:
+            replica.on_message(src, inner)
+            return
+        # Sanitizer: re-tag the delivery context with the guest replica so
+        # the store guard attributes accesses to the right co-hosted shard.
+        san.begin_delivery(replica)
+        try:
+            replica.on_message(src, inner)
+        finally:
+            san.end_delivery()
 
     def on_local_work(self, work: Any) -> None:
         if type(work) is not tuple:
@@ -521,4 +532,13 @@ class ShardHost(NodeProcess):
             handle_host_txn_work(self, work)
             return
         shard, inner = work
-        self.shard_replicas[shard].on_local_work(inner)
+        replica = self.shard_replicas[shard]
+        san = self._sanitizer
+        if san is None:
+            replica.on_local_work(inner)
+            return
+        san.begin_delivery(replica)
+        try:
+            replica.on_local_work(inner)
+        finally:
+            san.end_delivery()

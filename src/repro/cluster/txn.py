@@ -84,7 +84,7 @@ in-flight transactions beyond per-key linearizability.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -122,7 +122,7 @@ _CONTROL_BYTES = 24
 
 
 # --------------------------------------------------------------- messages
-@dataclass
+@dataclass(slots=True)
 class TxnPrepare(TxnMessage):
     """Phase-1 request: lock ``ops``'s keys on one shard and vote."""
 
@@ -132,17 +132,17 @@ class TxnPrepare(TxnMessage):
     ops: List[Operation]
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnVote(TxnMessage):
     """Phase-1 reply: YES (with read results) or NO (lock conflict/failure)."""
 
     txn_id: int
     shard: int
     yes: bool
-    values: Dict[int, Value] = field(default_factory=dict)
+    values: Optional[Dict[int, Value]] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnDecision(TxnMessage):
     """Phase-2 request: commit (apply buffered writes) or abort."""
 
@@ -151,7 +151,7 @@ class TxnDecision(TxnMessage):
     commit: bool
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnAck(TxnMessage):
     """Phase-2 reply: the shard finished applying (or discarding) the txn.
 
@@ -163,10 +163,10 @@ class TxnAck(TxnMessage):
     txn_id: int
     shard: int
     committed: bool
-    commit_times: Dict[int, float] = field(default_factory=dict)
+    commit_times: Optional[Dict[int, float]] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnSingle(TxnMessage):
     """Single-shard fast path: lock, read, apply, release in one visit."""
 
@@ -176,14 +176,27 @@ class TxnSingle(TxnMessage):
     ops: List[Operation]
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnSingleReply(TxnMessage):
     """Fast-path reply: committed (with results) or aborted on conflict."""
 
     txn_id: int
     committed: bool
-    values: Dict[int, Value] = field(default_factory=dict)
-    commit_times: Dict[int, float] = field(default_factory=dict)
+    values: Optional[Dict[int, Value]] = None
+    commit_times: Optional[Dict[int, float]] = None
+
+
+#: Wire-cost registry (lint rule M001): transaction message sizes depend on
+#: their payload, so the byte count is computed at each send site; the entry
+#: here documents the formula the send site must use.
+WIRE_COSTS = {
+    TxnPrepare: "_CONTROL_BYTES + ops_wire_size(ops)",
+    TxnVote: "_CONTROL_BYTES + value_size * len(values)",
+    TxnDecision: "_CONTROL_BYTES",
+    TxnAck: "_CONTROL_BYTES + 8 * len(commit_times)",
+    TxnSingle: "_CONTROL_BYTES + ops_wire_size(ops)",
+    TxnSingleReply: "_CONTROL_BYTES + 8 * len(commit_times) + 8 * len(values)",
+}
 
 
 class ClientTxnSubmit(TxnMessage):
@@ -805,7 +818,7 @@ class TxnCoordinator:
             return
         state.awaiting_votes.discard(msg.shard)
         if msg.yes:
-            state.values.update(msg.values)
+            state.values.update(msg.values or ())
         else:
             state.no_vote = True
         if state.awaiting_votes:
@@ -830,7 +843,7 @@ class TxnCoordinator:
         if state is None or msg.shard not in state.awaiting_acks:
             return
         state.awaiting_acks.discard(msg.shard)
-        state.commit_times.update(msg.commit_times)
+        state.commit_times.update(msg.commit_times or ())
         if not state.awaiting_acks:
             self._complete(state, OpStatus.OK)
 
@@ -839,8 +852,8 @@ class TxnCoordinator:
         if state is None:
             return
         if msg.committed:
-            state.values.update(msg.values)
-            state.commit_times.update(msg.commit_times)
+            state.values.update(msg.values or ())
+            state.commit_times.update(msg.commit_times or ())
             self._complete(state, OpStatus.OK)
         else:
             self._complete(state, OpStatus.ABORTED)

@@ -7,7 +7,7 @@ MembershipAgent` without inspecting individual types.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.membership.view import MembershipView, ShardMigration
@@ -17,7 +17,7 @@ from repro.types import Key, NodeId, Value
 CONTROL_MESSAGE_BYTES = 24
 
 
-@dataclass
+@dataclass(slots=True)
 class MembershipMessage:
     """Base class for all RM messages."""
 
@@ -27,21 +27,21 @@ class MembershipMessage:
         return CONTROL_MESSAGE_BYTES
 
 
-@dataclass
+@dataclass(slots=True)
 class Ping(MembershipMessage):
     """Liveness probe from the RM service to a replica."""
 
     sequence: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Pong(MembershipMessage):
     """Reply to a :class:`Ping`."""
 
     sequence: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class LeaseGrant(MembershipMessage):
     """Grant (or renew) a replica's lease under a view."""
 
@@ -49,14 +49,14 @@ class LeaseGrant(MembershipMessage):
     duration: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class Prepare(MembershipMessage):
     """Paxos phase-1a message for an m-update."""
 
     ballot: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Promise(MembershipMessage):
     """Paxos phase-1b message.
 
@@ -69,7 +69,7 @@ class Promise(MembershipMessage):
     accepted_value: Optional[Any] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Accept(MembershipMessage):
     """Paxos phase-2a message carrying the proposed new view."""
 
@@ -77,21 +77,21 @@ class Accept(MembershipMessage):
     value: Any = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Accepted(MembershipMessage):
     """Paxos phase-2b message."""
 
     ballot: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Nack(MembershipMessage):
     """Rejection of a Prepare/Accept carrying the highest promised ballot."""
 
     promised_ballot: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class MUpdate(MembershipMessage):
     """Installation of a reconfigured view on a live replica (paper §3.4)."""
 
@@ -99,7 +99,7 @@ class MUpdate(MembershipMessage):
     lease_duration: float = 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class MigrationFrozen(MembershipMessage):
     """A node reports its source-shard replica frozen and quiescent.
 
@@ -110,7 +110,7 @@ class MigrationFrozen(MembershipMessage):
     epoch_id: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class MigrationCopy(MembershipMessage):
     """Instruct the source shard's lock-master node to copy the frozen keys."""
 
@@ -118,7 +118,7 @@ class MigrationCopy(MembershipMessage):
     migration: Optional[ShardMigration] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class MigrationCopied(MembershipMessage):
     """The copy node reports the migrated keys applied at the target shard.
 
@@ -132,4 +132,6 @@ class MigrationCopied(MembershipMessage):
     """
 
     epoch_id: int = 0
-    values: Dict[Key, Value] = field(default_factory=dict)
+    #: ``None`` means "no values transferred" (M002: no mutable defaults on
+    #: zero-copy messages — a shared default dict would alias every instance).
+    values: Optional[Dict[Key, Value]] = None

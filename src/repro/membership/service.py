@@ -221,7 +221,7 @@ class MembershipService(NodeProcess):
     # -------------------------------------------------------------- periodic
     def _ping_tick(self) -> None:
         self._ping_sequence += 1
-        for node in self.view.members:
+        for node in sorted(self.view.members):
             self.send(node, Ping(sequence=self._ping_sequence), Ping().size_bytes)
         self._check_failures()
         self.set_timer(self.config.detection.ping_interval, self._ping_tick)
@@ -233,7 +233,7 @@ class MembershipService(NodeProcess):
 
     def _grant_leases(self) -> None:
         grant = LeaseGrant(view=self.view, duration=self.config.lease_duration)
-        for node in self.view.members:
+        for node in sorted(self.view.members):
             self._last_lease_grant[node] = self.sim.now
             self.send(node, grant, grant.size_bytes)
 
@@ -288,7 +288,7 @@ class MembershipService(NodeProcess):
         self._accept_broadcast_done = False
         ballot = self._proposer.start_round()
         prepare = Prepare(ballot=ballot)
-        for node in self._acceptors:
+        for node in sorted(self._acceptors):
             self.send(node, prepare, prepare.size_bytes)
 
     def _on_promise(self, src: NodeId, message: Promise) -> None:
@@ -299,7 +299,7 @@ class MembershipService(NodeProcess):
         )
         if quorum and self._proposer.chosen_value is None and not self._accept_broadcast_done:
             accept = Accept(ballot=self._proposer.ballot, value=self._proposer.value)
-            for node in self._acceptors:
+            for node in sorted(self._acceptors):
                 self.send(node, accept, accept.size_bytes)
             self._accept_broadcast_done = True
 
@@ -315,7 +315,7 @@ class MembershipService(NodeProcess):
         ballot = self._proposer.on_nack(message.promised_ballot)
         self._accept_broadcast_done = False
         prepare = Prepare(ballot=ballot)
-        for node in self._acceptors:
+        for node in sorted(self._acceptors):
             self.send(node, prepare, prepare.size_bytes)
 
     def _install_chosen_view(self) -> None:
@@ -325,7 +325,7 @@ class MembershipService(NodeProcess):
         for node in self._pending_removals:
             self.detector.remove(node)
         update = MUpdate(view=view, lease_duration=self.config.lease_duration)
-        for node in view.members:
+        for node in sorted(view.members):
             self._last_lease_grant[node] = self.sim.now
             self.send(node, update, update.size_bytes)
         self.reconfigurations += 1
@@ -459,7 +459,7 @@ class MembershipService(NodeProcess):
         if record.copied_time:
             return  # duplicate ack
         record.copied_time = self.sim.now
-        record.values = dict(message.values)
+        record.values = dict(message.values or {})
         active = ShardMap(
             epoch=self.view.epoch_id + 1,
             migrations=self._applied_migrations() + (record.migration,),

@@ -122,6 +122,11 @@ class ReplicaNode(NodeProcess):
         self.config.validate()
         self.view = view
         self.store = store or KeyValueStore(track_index=self.config.track_kvs_index)
+        if self._sanitizer is not None:
+            # Cross-replica guard: while any handler runs, only this replica
+            # (or its ShardHost, which reads guest stores during migration)
+            # may touch this store. Off by default (``_sanitizer is None``).
+            self._sanitizer.guard_store(self.store, owner=self, host=host or self)
         self.transport = transport or DirectTransport(self)
         self.tracer = tracer or Tracer(enabled=False)
         self.clock = clock or LooselySynchronizedClock(self.config.clock)

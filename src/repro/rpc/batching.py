@@ -10,7 +10,7 @@ destination is buffered.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple
 
 from repro.errors import ConfigurationError
@@ -43,7 +43,7 @@ class BatchingConfig:
             raise ConfigurationError("max_delay must be non-negative")
 
 
-@dataclass
+@dataclass(slots=True)
 class WingsPacket:
     """A network packet carrying a batch of application messages.
 
@@ -51,7 +51,7 @@ class WingsPacket:
         messages: The batched ``(message, payload_size)`` pairs.
     """
 
-    messages: List[Tuple[Any, int]] = field(default_factory=list)
+    messages: List[Tuple[Any, int]]
 
     @property
     def size_bytes(self) -> int:

@@ -16,7 +16,7 @@ from repro.errors import ConfigurationError
 from repro.types import NodeId
 
 
-@dataclass
+@dataclass(slots=True)
 class ExplicitCreditUpdate:
     """A header-only message returning credits to a sender."""
 

@@ -108,6 +108,7 @@ from dataclasses import dataclass
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Deque, List, Optional, Set, Tuple
 
+from repro.analysis.sanitize import get_sanitizer
 from repro.errors import ConfigurationError
 from repro.sim.engine import EventHandle, Simulator
 from repro.sim.network import Network
@@ -116,6 +117,9 @@ from repro.types import NodeId
 #: Inbox-entry slot indices: ``[arrival, seq, service, is_network, handler, args]``.
 #: ``is_network`` marks entries whose processing counts toward the network's
 #: ``messages_delivered`` statistic (the legacy path counts at arrival).
+#: Under ``REPRO_SANITIZE=1`` an optional 7th slot holds the payload
+#: fingerprint captured at enqueue; heap comparisons never reach it because
+#: the seq in slot 1 is unique.
 _ARRIVAL, _SEQ, _SERVICE, _IS_NET, _HANDLER, _HARGS = range(6)
 
 #: Prune the fired-timer tracking set once it exceeds this size.
@@ -196,6 +200,9 @@ class NodeProcess:
         #: Per-node transaction coordinator (see :mod:`repro.cluster.txn`),
         #: created lazily on the first transaction submitted at this node.
         self._txn_coordinator = None
+        #: Runtime sanitizer (``None`` unless ``REPRO_SANITIZE=1``): hot
+        #: paths pay one is-None check, like the txn hooks in protocols.base.
+        self._sanitizer = get_sanitizer()
         self.messages_processed = 0
         # Flattened service-model constants for the hot paths (the model is
         # validated at construction and never mutated afterwards).
@@ -320,6 +327,11 @@ class NodeProcess:
                 [self.sim.now, self._alloc_seq(), service, 0, self.on_message, (src, message)]
             )
         else:
+            san = self._sanitizer
+            if san is not None:
+                # Close the send->arrival window (the batched path carries
+                # its fingerprint inside the inbox entry instead).
+                san.check_arrival(message, self.node_id)
             self._enqueue(size_bytes, 1.0, self.on_message, src, message)
 
     def submit_local(self, work: Any, size_bytes: int = 0, weight: float = 1.0) -> None:
@@ -369,6 +381,8 @@ class NodeProcess:
                     self._schedule_head()
         else:
             self._cpu_free_at = max(now, self._cpu_free_at) + cost
+            if self._sanitizer is not None:
+                self._sanitizer.note_send(message)
         self._network_send(self.node_id, dst, message, size_bytes)
 
     def broadcast(self, destinations, message: Any, size_bytes: int = 0) -> None:
@@ -400,6 +414,8 @@ class NodeProcess:
             for _ in targets:
                 free += cost
             self._cpu_free_at = free
+            if self._sanitizer is not None:
+                self._sanitizer.note_send(message, copies=len(targets))
         self.network.send_multi(node_id, targets, message, size_bytes)
 
     def charge_send(self, size_bytes: int = 0) -> None:
@@ -512,6 +528,11 @@ class NodeProcess:
         """
         service = (self._sm_base + total_bytes * self._sm_per_byte) / self._sm_workers
         entry = [arrival, seq, service, 1, self.on_message, (src, message)]
+        san = self._sanitizer
+        if san is not None:
+            # Extra slot beyond _HARGS: heap comparisons never reach it
+            # (the entry seq in slot 1 is unique).
+            entry.append(san.fingerprint(entry[_HARGS]))
         inbox = self._inbox
         heappush(inbox, entry)
         if self._crashed:
@@ -526,6 +547,9 @@ class NodeProcess:
                 self._schedule_head()
 
     def _push_entry(self, entry: list) -> None:
+        san = self._sanitizer
+        if san is not None:
+            entry.append(san.fingerprint(entry[_HARGS]))
         heappush(self._inbox, entry)
         if self._crashed:
             self._ensure_drop_chain()
@@ -594,9 +618,16 @@ class NodeProcess:
             self.network.stats.messages_delivered += 1
         self.messages_processed += 1
         self._processing = True
+        san = self._sanitizer
+        if san is not None:
+            # Fingerprint captured at enqueue rides in the entry's 7th slot.
+            san.verify(entry[_HARGS], entry[6], self.node_id)
+            san.begin_delivery(self)
         try:
             entry[_HANDLER](*entry[_HARGS])
         finally:
+            if san is not None:
+                san.end_delivery()
             self._processing = False
             inbox = self._inbox
             if inbox and not self._crashed and not self._head_scheduled:
@@ -660,7 +691,18 @@ class NodeProcess:
         finish = start + service
         self._cpu_free_at = finish
         self._queue_depth += 1
-        self.sim.schedule_at(finish, self._process, self._queue_epoch, handler, args)
+        san = self._sanitizer
+        if san is None:
+            self.sim.schedule_at(finish, self._process, self._queue_epoch, handler, args)
+        else:
+            self.sim.schedule_at(
+                finish,
+                self._process_sanitized,
+                self._queue_epoch,
+                handler,
+                args,
+                san.fingerprint(args),
+            )
 
     def _process(self, epoch: int, handler: Callable[..., None], args: Tuple[Any, ...]) -> None:
         self._queue_depth -= 1
@@ -669,7 +711,35 @@ class NodeProcess:
         self.messages_processed += 1
         handler(*args)
 
+    def _process_sanitized(
+        self,
+        epoch: int,
+        handler: Callable[..., None],
+        args: Tuple[Any, ...],
+        expected: Any,
+    ) -> None:
+        """Legacy-path delivery with the mutation fingerprint check."""
+        self._queue_depth -= 1
+        if self._crashed or epoch != self._queue_epoch:
+            return
+        self.messages_processed += 1
+        san = self._sanitizer
+        san.verify(args, expected, self.node_id)
+        san.begin_delivery(self)
+        try:
+            handler(*args)
+        finally:
+            san.end_delivery()
+
     def _timer_fired(self, callback: Callable[..., None], args: Tuple[Any, ...]) -> None:
         if self._crashed:
             return
-        callback(*args)
+        san = self._sanitizer
+        if san is None:
+            callback(*args)
+            return
+        san.begin_delivery(self)
+        try:
+            callback(*args)
+        finally:
+            san.end_delivery()

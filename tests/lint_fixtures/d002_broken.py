@@ -1,0 +1,12 @@
+"""D002 fixture: process-global randomness outside ``sim/rng.py``."""
+
+import os
+import random
+from random import randint  # expect: D002
+
+
+def draw_jitter():
+    latency = random.uniform(1e-6, 2e-6)  # expect: D002
+    token = os.urandom(8)  # expect: D002
+    spin = randint(0, 7)  # expect: D002
+    return latency, token, spin

@@ -1,0 +1,8 @@
+"""D002 clean twin: all randomness comes from seeded streams."""
+
+import random
+
+
+def draw_jitter(seed: int):
+    rng = random.Random(seed)
+    return rng.uniform(1e-6, 2e-6), rng.randint(0, 7)

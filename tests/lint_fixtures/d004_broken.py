@@ -1,0 +1,14 @@
+"""D004 fixture: ``id()``-keyed and identity-ordered collections."""
+
+
+def index_records(records):
+    index_of = {id(record): i for i, record in enumerate(records)}  # expect: D004
+    return index_of
+
+
+def order_by_identity(records):
+    return sorted(records, key=lambda r: id(r))  # expect: D004
+
+
+def remember(seen, record):
+    seen.add(id(record))  # expect: D004

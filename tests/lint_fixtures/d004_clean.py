@@ -1,0 +1,14 @@
+"""D004 clean twin: collections keyed/ordered by stable fields."""
+
+
+def index_records(records):
+    return {record.op_id: i for i, record in enumerate(records)}
+
+
+def order_by_field(records):
+    return sorted(records, key=lambda r: r.op_id)
+
+
+def describe(record):
+    # id() in a plain format string neither keys nor orders anything.
+    return f"record-{id(record):x}"

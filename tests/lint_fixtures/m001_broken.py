@@ -1,0 +1,33 @@
+"""M001 fixture: message dataclasses missing ``__slots__`` or a wire cost."""
+
+from dataclasses import dataclass
+
+
+class TxnMessage:
+    """Stand-in for the repo's transaction-message marker base."""
+
+    __slots__ = ()
+
+
+@dataclass
+class SlotlessInv(TxnMessage):  # expect: M001
+    """Carries a wire cost but forgot ``slots=True``."""
+
+    key: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return 24
+
+
+@dataclass(slots=True)
+class CostlessAck(TxnMessage):  # expect: M001
+    """Declares slots but has no size_bytes / WIRE_COSTS entry."""
+
+    key: int = 0
+
+
+def dispatch(message):
+    if isinstance(message, (SlotlessInv, CostlessAck)):
+        return True
+    return False

@@ -1,0 +1,34 @@
+"""M001 clean twin: slots plus a wire cost on every message dataclass."""
+
+from dataclasses import dataclass
+
+
+class TxnMessage:
+    """Stand-in for the repo's transaction-message marker base."""
+
+    __slots__ = ()
+
+
+@dataclass(slots=True)
+class Inv(TxnMessage):
+    key: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return 24
+
+
+@dataclass(slots=True)
+class Ack(TxnMessage):
+    """Costed through the module's WIRE_COSTS registry instead."""
+
+    key: int = 0
+
+
+WIRE_COSTS = {Ack: "control bytes, computed at the send site"}
+
+
+def dispatch(message):
+    if isinstance(message, (Inv, Ack)):
+        return True
+    return False

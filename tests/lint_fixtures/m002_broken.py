@@ -1,0 +1,19 @@
+"""M002 fixture: mutable default fields on a message dataclass."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(slots=True)
+class Reply:
+    txn_id: int = 0
+    values: Dict[int, int] = field(default_factory=dict)  # expect: M002
+    trace: List[str] = field(default_factory=list)  # expect: M002
+
+    @property
+    def size_bytes(self) -> int:
+        return 24
+
+
+def dispatch(message):
+    return isinstance(message, Reply)

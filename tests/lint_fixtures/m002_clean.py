@@ -1,0 +1,18 @@
+"""M002 clean twin: ``None`` defaults, reads guarded at the call sites."""
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(slots=True)
+class Reply:
+    txn_id: int = 0
+    values: Optional[Dict[int, int]] = None
+
+    @property
+    def size_bytes(self) -> int:
+        return 24
+
+
+def dispatch(message):
+    return isinstance(message, Reply)

@@ -1,0 +1,18 @@
+"""D003 fixture: unordered iteration deciding send order (``protocols/`` path)."""
+
+
+class Broadcaster:
+    def __init__(self, members):
+        self.members = frozenset(members)
+        self.pending = {3, 1, 2}
+
+    def send(self, dst, message, size):
+        raise NotImplementedError
+
+    def announce(self, message):
+        for node in self.members:  # expect: D003
+            self.send(node, message, 24)
+
+    def retry_pending(self, message):
+        for node in self.pending:  # expect: D003
+            self.send(node, message, 24)

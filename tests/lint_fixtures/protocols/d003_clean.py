@@ -1,0 +1,20 @@
+"""D003 clean twin: sorted iteration (or no effects in the loop body)."""
+
+
+class Broadcaster:
+    def __init__(self, members):
+        self.members = frozenset(members)
+
+    def send(self, dst, message, size):
+        raise NotImplementedError
+
+    def announce(self, message):
+        for node in sorted(self.members):
+            self.send(node, message, 24)
+
+    def tally(self):
+        # Iterating a set without sends/timers in the body is fine.
+        total = 0
+        for node in self.members:
+            total += node
+        return total

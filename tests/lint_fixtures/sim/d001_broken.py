@@ -1,0 +1,11 @@
+"""D001 fixture: wall-clock reads inside simulated code (path has ``sim/``)."""
+
+import time as clock
+from datetime import datetime
+
+
+def handler_reads_wall_clock(sim):
+    started = clock.time()  # expect: D001
+    deadline = clock.monotonic() + 1.0  # expect: D001
+    stamp = datetime.now()  # expect: D001
+    return started, deadline, stamp, sim.now

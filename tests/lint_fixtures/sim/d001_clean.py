@@ -1,0 +1,7 @@
+"""D001 clean twin: simulated code reads simulated time only."""
+
+
+def handler_reads_sim_time(sim, node):
+    started = sim.now
+    local = node.clock.read(sim.now)
+    return started, local
