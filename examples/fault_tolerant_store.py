@@ -20,6 +20,8 @@ from repro import (
     ClosedLoopClient,
     Cluster,
     ClusterConfig,
+    FailureEvent,
+    FailureInjector,
     History,
     UniformKeys,
     WorkloadMix,
@@ -50,7 +52,7 @@ def main() -> None:
 
     crash_time, total_time = 0.030, 0.250
     crashed_node = 4
-    cluster.crash_at(crashed_node, crash_time)
+    FailureInjector(cluster, [FailureEvent.crash(crash_time, crashed_node)]).arm()
 
     history = History()
     clients = [

@@ -29,14 +29,26 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.analysis.lint import main as lint_main  # noqa: E402
 
 #: Trees linted by default (benchmarks/ may not exist in sparse checkouts).
-DEFAULT_PATHS = ("src", "scripts", "benchmarks")
+#: src/repro/fuzz is listed explicitly so targeted sparse checkouts that
+#: drop src/ top-level siblings still lint the fuzz harness; when src/ is
+#: present the nested entry is deduplicated below.
+DEFAULT_PATHS = ("src", "src/repro/fuzz", "scripts", "benchmarks")
+
+
+def _dedup_nested(paths: list[Path]) -> list[Path]:
+    kept: list[Path] = []
+    for path in paths:
+        if not any(other != path and other in path.parents for other in paths):
+            kept.append(path)
+    return kept
 
 
 def main(argv: list[str]) -> int:
     if argv and not argv[0].startswith("-"):
         # Explicit paths given: pure pass-through.
         return lint_main(argv)
-    paths = [str(REPO_ROOT / p) for p in DEFAULT_PATHS if (REPO_ROOT / p).is_dir()]
+    candidates = [REPO_ROOT / p for p in DEFAULT_PATHS if (REPO_ROOT / p).is_dir()]
+    paths = [str(p) for p in _dedup_nested(candidates)]
     args = paths + [
         "--baseline",
         str(REPO_ROOT / "lint-baseline.json"),

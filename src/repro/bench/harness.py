@@ -26,9 +26,11 @@ import random
 from repro.analysis.stats import LatencySummary, latency_summary, throughput
 from repro.cluster.client import ClientSession, ClosedLoopClient, OpenLoopClient, run_clients
 from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.failures import FailureEvent, FailureInjector
 from repro.cluster.sharding import ShardRouter
 from repro.core.config import HermesConfig
 from repro.errors import BenchmarkError
+from repro.membership.service import MembershipConfig, MigrationRecord, PlannedMigration
 from repro.protocols.base import ReplicaConfig
 from repro.protocols.derecho import DerechoConfig
 from repro.sim.node import ServiceTimeModel
@@ -119,6 +121,29 @@ class ExperimentSpec:
         record_history: Whether to record a linearizability-checkable history.
         max_sim_time: Safety cap on simulated seconds.
         label: Free-form label carried into the result.
+        faults: Declarative fault schedule
+            (:class:`~repro.cluster.failures.FailureEvent` records), armed
+            through a :class:`~repro.cluster.failures.FailureInjector`
+            before clients start. The empty default is identity-neutral:
+            fault-free specs hash to the same cell seed as before the
+            field existed.
+        run_membership: Whether to start the reliable-membership service
+            (crash detection, lease-based views). Implied by
+            ``migrations``.
+        migrations: Planned live shard migrations
+            (:class:`~repro.membership.service.PlannedMigration` records),
+            driven by the membership service. Requires ``shards >= 2``.
+        membership: Optional membership-service tuning override (lease
+            duration, detection timeouts). ``None`` — the identity-neutral
+            default — uses the service defaults; the fault-schedule fuzzer
+            installs a fast-detection config so view changes land inside
+            smoke-scale runs. Any ``migrations`` are merged in on top.
+        allow_incomplete: Whether hitting ``max_sim_time`` with client
+            operations still outstanding is a normal bounded run rather
+            than a :class:`~repro.errors.SimulationDeadlock`. Fault
+            schedules may legally wedge clients forever (see
+            :func:`repro.cluster.client.run_clients`); the checkers judge
+            whatever completed.
     """
 
     protocol: str = "hermes"
@@ -145,6 +170,11 @@ class ExperimentSpec:
     record_history: bool = False
     max_sim_time: float = 120.0
     label: str = ""
+    faults: Sequence[FailureEvent] = ()
+    run_membership: bool = False
+    migrations: Sequence[PlannedMigration] = ()
+    membership: Optional[MembershipConfig] = None
+    allow_incomplete: bool = False
 
     def with_scale(self, scale: Scale) -> "ExperimentSpec":
         """A copy of this spec resized to the given scale preset."""
@@ -170,6 +200,9 @@ class ExperimentResult:
         results: Raw per-operation results (for time series / custom stats).
         history: Recorded history when the spec requested one.
         cluster_stats: Selected protocol counters summed over replicas.
+        migration_records: Completed live migrations of the run (empty
+            unless the spec planned migrations); consumed by the
+            migration-atomicity checker.
     """
 
     spec: ExperimentSpec
@@ -181,6 +214,7 @@ class ExperimentResult:
     results: List[OperationResult] = field(default_factory=list)
     history: Optional[History] = None
     cluster_stats: Dict[str, int] = field(default_factory=dict)
+    migration_records: List[MigrationRecord] = field(default_factory=list)
 
     @property
     def mreqs_per_sec(self) -> float:
@@ -198,6 +232,10 @@ def build_cluster(spec: ExperimentSpec) -> Cluster:
     replica_config = ReplicaConfig(value_size=spec.value_size)
     hermes_config = spec.hermes or HermesConfig(replica=replica_config)
     hermes_config.replica = replica_config
+    run_membership = spec.run_membership or bool(spec.migrations)
+    membership = spec.membership or MembershipConfig()
+    if spec.migrations:
+        membership = replace(membership, migrations=list(spec.migrations))
     config = ClusterConfig(
         protocol=spec.protocol,
         num_replicas=spec.num_replicas,
@@ -208,6 +246,8 @@ def build_cluster(spec: ExperimentSpec) -> Cluster:
         derecho=spec.derecho or DerechoConfig(),
         use_wings=spec.use_wings,
         service_model=ServiceTimeModel(worker_threads=spec.worker_threads),
+        run_membership_service=run_membership,
+        membership=membership,
     )
     return Cluster(config)
 
@@ -331,7 +371,9 @@ def _reduce_run(
         "txns_timedout": cluster.txn_stat("txns_timedout"),
         "txns_cross_shard": cluster.txn_stat("txns_cross_shard"),
     }
-    return _summarize(spec, results, duration, history, stats)
+    result = _summarize(spec, results, duration, history, stats)
+    result.migration_records = list(cluster.migration_records)
+    return result
 
 
 def _validate_spec(spec: ExperimentSpec) -> None:
@@ -356,6 +398,16 @@ def _validate_spec(spec: ExperimentSpec) -> None:
             "execution runs shards as independent simulations, which cannot "
             "exchange cross-shard 2PC traffic"
         )
+    if spec.shards > 1 and spec.shard_mode == "parallel" and (
+        spec.faults or spec.run_membership or spec.migrations or spec.membership
+    ):
+        raise BenchmarkError(
+            "fault schedules, membership and migrations require "
+            "shard_mode='coupled': parallel shard execution runs shards as "
+            "independent simulations with disjoint failure domains"
+        )
+    if spec.migrations and spec.shards < 2:
+        raise BenchmarkError("planned migrations require shards >= 2")
 
 
 def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
@@ -374,10 +426,15 @@ def run_experiment(spec: ExperimentSpec) -> ExperimentResult:
     workload = build_workload(spec)
     cluster.preload(workload.initial_dataset())
 
+    if spec.faults:
+        FailureInjector(cluster, spec.faults).arm()
+
     history = History() if spec.record_history else None
     clients = build_clients(spec, cluster, workload, history)
 
-    duration = run_clients(cluster, clients, max_time=spec.max_sim_time)
+    duration = run_clients(
+        cluster, clients, max_time=spec.max_sim_time, allow_incomplete=spec.allow_incomplete
+    )
     return _reduce_run(spec, cluster, clients, duration, history)
 
 

@@ -80,6 +80,11 @@ _IDENTITY_NEUTRAL_DEFAULTS: Dict[str, Any] = {
     "txn_fraction": 0.0,
     "txn_keys": 2,
     "txn_cross_shard": 0.0,
+    "faults": (),
+    "run_membership": False,
+    "migrations": (),
+    "membership": None,
+    "allow_incomplete": False,
 }
 
 _MISSING = object()
@@ -105,6 +110,37 @@ def derive_cell_seed(spec: ExperimentSpec, root_seed: int) -> int:
 
 
 # ------------------------------------------------------------ grid running
+def parallel_map(
+    worker: Callable[[Any], Any],
+    tasks: Sequence[Any],
+    jobs: Optional[int] = None,
+) -> List[Any]:
+    """Map ``worker`` over ``tasks`` across worker processes, keeping order.
+
+    The one fan-out primitive shared by the figure grids (:func:`run_specs`)
+    and the fault-schedule fuzzer's campaign loop (:mod:`repro.fuzz`): task
+    submission order equals result order regardless of worker scheduling,
+    ``jobs <= 1`` (or a single task) short-circuits to a serial in-process
+    loop with no executor and no pickling, and ``worker``/``tasks`` must be
+    picklable module-level callables/values when parallel.
+
+    Args:
+        worker: Module-level callable applied to each task.
+        tasks: The task list; fully materialized before dispatch.
+        jobs: Worker processes. ``None`` uses every core.
+
+    Returns:
+        ``[worker(task) for task in tasks]``, computed in parallel.
+    """
+    tasks = list(tasks)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        return list(pool.map(worker, tasks))
+
+
 def _execute_spec(task: Tuple[ExperimentSpec, bool]) -> ExperimentResult:
     """Worker entry point: run one cell, optionally stripping bulky fields.
 
@@ -177,11 +213,7 @@ def run_specs(
         else:
             layout.append(("whole", spec, [len(units)]))
             units.append(("whole", spec, keep_results))
-    if jobs <= 1 or len(units) <= 1:
-        outputs = [_execute_unit(unit) for unit in units]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(units))) as pool:
-            outputs = list(pool.map(_execute_unit, units))
+    outputs = parallel_map(_execute_unit, units, jobs=jobs)
     results: List[ExperimentResult] = []
     for kind, spec, indices in layout:
         if kind == "shards":

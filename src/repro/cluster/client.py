@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.txn import ClientTxnSubmit, TxnOutcome, ops_wire_size
+from repro.errors import SimulationDeadlock
 from repro.types import (
     NodeId,
     Operation,
@@ -85,8 +86,16 @@ class ClientSession:
         # callbacks are the bound methods below — allocated once per
         # session instead of one functools.partial per operation (a named
         # hot-path allocation; see repro.bench.microbench).
-        self._inflight: Dict[int, Tuple[float, float]] = {}
-        self._txn_inflight: Dict[int, Tuple[float, float]] = {}
+        self._inflight: Dict[int, Tuple[float, float, int]] = {}
+        self._txn_inflight: Dict[int, Tuple[float, float, int]] = {}
+        # Crash/recovery bookkeeping: ``_stalled`` is set when an issue is
+        # skipped because the bound node is crashed; ``_epoch`` is bumped
+        # when the node recovers so that completions of operations issued
+        # before the recovery cannot double-start the closed loop's
+        # completion chain (ops submitted with a future arrival survive a
+        # crash+recover window and complete after the chain restarted).
+        self._epoch = 0
+        self._stalled = False
         self.request_latency = request_latency
         # Per-client deterministic stream for request/response latency
         # jitter, drawn in issue order (bind .random once; it is consumed
@@ -144,10 +153,12 @@ class ClientSession:
         if replica.crashed:
             # The node would silently drop the submission anyway (the op
             # stays pending in the history); skipping it here keeps the
-            # in-flight context dict from accumulating dead entries.
+            # in-flight context dict from accumulating dead entries. The
+            # stall flag lets a later RECOVER restart the session.
+            self._stalled = True
             return
         if request_lat > 0:
-            self._inflight[op.op_id] = (start, response_lat)
+            self._inflight[op.op_id] = (start, response_lat, self._epoch)
             replica.submit_at(start + request_lat, op, self._record)
         else:
             self._submit(op, start)
@@ -175,8 +186,9 @@ class ClientSession:
         request_lat, response_lat = self._draw_latencies()
         node = self._txn_node()
         if node.crashed:
+            self._stalled = True
             return  # dropped at the node; see _issue
-        self._txn_inflight[txn.txn_id] = (issue_time, response_lat)
+        self._txn_inflight[txn.txn_id] = (issue_time, response_lat, self._epoch)
         submit = ClientTxnSubmit(txn, self._record_txn)
         config = self.cluster.config.replica
         size = ops_wire_size(txn.ops, config.key_size, config.value_size)
@@ -187,7 +199,7 @@ class ClientSession:
             node.submit_local(submit, size_bytes=size)
 
     def _record_txn(self, txn: Transaction, outcome: TxnOutcome) -> None:
-        start, response_lat = self._txn_inflight.pop(txn.txn_id)
+        start, response_lat, epoch = self._txn_inflight.pop(txn.txn_id)
         end = self._sim._now + response_lat
         status = outcome.status
         if self.history is not None:
@@ -216,7 +228,11 @@ class ClientSession:
                     served_by=served_by,
                 )
             )
-        self._completion_chain(response_lat)
+        if epoch == self._epoch:
+            # A stale epoch means the bound node recovered (and the chain
+            # restarted) after this transaction was issued: record the
+            # result above but do not double-start the completion chain.
+            self._completion_chain(response_lat)
         if not self._wants_completion_hook:
             return
         if response_lat > 0:
@@ -227,8 +243,9 @@ class ClientSession:
     def _submit(self, op: Operation, start: float) -> None:
         replica = self._replica_for(op)
         if replica.crashed:
+            self._stalled = True
             return  # dropped at the node; see _issue
-        self._inflight[op.op_id] = (start, 0.0)
+        self._inflight[op.op_id] = (start, 0.0, self._epoch)
         replica.submit(op, self._record)
 
     def _record(self, op: Operation, status: OpStatus, value: Value) -> None:
@@ -236,7 +253,7 @@ class ClientSession:
         # keyed by op id in ``_inflight``: one dict store+pop per operation
         # replaces the functools.partial allocation each completion
         # callback used to cost.
-        start, response_lat = self._inflight.pop(op.op_id)
+        start, response_lat, epoch = self._inflight.pop(op.op_id)
         end = self._sim._now + response_lat
         if self.history is not None:
             self.history.respond(op, end, status, value)
@@ -253,7 +270,10 @@ class ClientSession:
                 served_by=self.replica_id,
             )
         )
-        self._completion_chain(response_lat)
+        if epoch == self._epoch:
+            # See _record_txn: stale-epoch completions must not restart
+            # the completion chain a second time.
+            self._completion_chain(response_lat)
         if not self._wants_completion_hook:
             return
         if response_lat > 0:
@@ -298,6 +318,10 @@ class ClosedLoopClient(ClientSession):
         self.max_ops = max_ops
         self.think_time = think_time
         self._started = False
+        # A crash of the bound node stalls the closed loop (issues are
+        # skipped while it is down); resume when it recovers instead of
+        # skipping it forever.
+        cluster.on_recover(self.replica_id, self._node_recovered)
 
     @property
     def done(self) -> bool:
@@ -315,6 +339,20 @@ class ClosedLoopClient(ClientSession):
         if self.issued >= self.max_ops:
             return
         self._issue(self.workload.next_operation(self.client_id))
+
+    def _node_recovered(self, node_id: NodeId) -> None:
+        """Restart the loop after the bound node recovers from a crash.
+
+        Bumping the epoch first means any pre-crash operation that still
+        completes (a submission whose arrival outlived the crash window)
+        records its result without double-starting the chain.
+        """
+        self._epoch += 1
+        if not self._started:
+            return
+        if self._stalled or self._inflight or self._txn_inflight:
+            self._stalled = False
+            self.cluster.sim.call_soon(self._issue_next)
 
     def _completion_chain(self, response_lat: float) -> None:
         """Schedule the next request with a single simulator event.
@@ -345,9 +383,10 @@ class ClosedLoopClient(ClientSession):
         request_lat, next_response_lat = self._draw_latencies()
         replica = self._replica_for(op)
         if replica.crashed:
+            self._stalled = True
             return  # dropped at the node; see _issue
         if request_lat > 0 or issue_time > sim._now:
-            self._inflight[op.op_id] = (issue_time, next_response_lat)
+            self._inflight[op.op_id] = (issue_time, next_response_lat, self._epoch)
             replica.submit_at(issue_time + request_lat, op, self._record)
         else:
             self._submit(op, issue_time)
@@ -405,16 +444,32 @@ def run_clients(
     clients: List[ClientSession],
     max_time: float = 60.0,
     check_interval: float = 2e-4,
+    allow_incomplete: bool = False,
 ) -> float:
     """Start every client and run the simulation until all are done.
 
+    Args:
+        allow_incomplete: Treat hitting ``max_time`` (or a drained event
+            queue) with clients still outstanding as a normal bounded run
+            instead of raising :class:`~repro.errors.SimulationDeadlock`.
+            Fault-schedule fuzzing runs this way: a schedule may legally
+            wedge a client forever (a crashed-and-never-recovered node, a
+            partition-dropped message on a protocol without
+            retransmissions), and the checkers then judge the operations
+            that did complete, with pending ones treated as maybe-applied.
+
     Returns:
-        The simulated completion time.
+        The simulated completion time (the cap, for capped runs).
     """
     for client in clients:
         client.start()  # type: ignore[attr-defined]
-    return cluster.run_until(
-        lambda: all(getattr(c, "done", True) for c in clients),
-        check_interval=check_interval,
-        max_time=max_time,
-    )
+    try:
+        return cluster.run_until(
+            lambda: all(getattr(c, "done", True) for c in clients),
+            check_interval=check_interval,
+            max_time=max_time,
+        )
+    except SimulationDeadlock:
+        if not allow_incomplete:
+            raise
+        return cluster.sim.now

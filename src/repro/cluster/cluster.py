@@ -10,7 +10,7 @@ class rather than assembling pieces by hand.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple, Type
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Type
 
 from repro.cluster.sharding import ShardHost, ShardRouter
 from repro.core.config import HermesConfig
@@ -135,6 +135,8 @@ class Cluster:
             self._build_sharded_replicas()
         else:
             self._build_replicas()
+        #: Per-node recovery callbacks (see :meth:`on_recover`).
+        self._recover_callbacks: Dict[NodeId, List[Callable[[NodeId], None]]] = {}
         self.membership_service: Optional[MembershipService] = None
         if config.run_membership_service:
             self.membership_service = MembershipService(
@@ -319,10 +321,59 @@ class Cluster:
             self.hosts[node_id].recover()
         else:
             self.replicas[node_id].recover()
+        for callback in self._recover_callbacks.get(node_id, ()):
+            callback(node_id)
 
-    def crash_at(self, node_id: NodeId, time: float) -> None:
-        """Schedule a replica crash at an absolute simulated time."""
+    def on_recover(self, node_id: NodeId, callback: Callable[[NodeId], None]) -> None:
+        """Register ``callback(node_id)`` to run whenever ``node_id`` recovers.
+
+        Used by client sessions to resume submissions to a node they had
+        been skipping while it was crashed. Callbacks run synchronously at
+        the end of :meth:`recover`, in registration order.
+        """
+        self._recover_callbacks.setdefault(node_id, []).append(callback)
+
+    def _crash_at(self, node_id: NodeId, time: float) -> None:
+        """Schedule a replica crash at an absolute simulated time.
+
+        Internal-only plumbing: experiments and tests describe faults
+        declaratively with :class:`repro.cluster.failures.FailureEvent`
+        lists (armed by a ``FailureInjector`` or passed via
+        ``ExperimentSpec.faults``) rather than wiring crashes by hand.
+        """
         self.sim.schedule_at(time, self.crash, node_id)
+
+    def slow_node(self, node_id: NodeId, factor: float) -> None:
+        """Scale CPU costs on ``node_id`` by ``factor`` (gray fault).
+
+        Sharded deployments slow the node's :class:`ShardHost` — every
+        guest shard replica shares that CPU timeline, so all of them see
+        the slowdown, mirroring a genuinely slow machine. ``factor=1.0``
+        restores full speed.
+        """
+        if self.sharded:
+            self.hosts[node_id].set_cpu_scale(factor)
+        else:
+            self.replicas[node_id].set_cpu_scale(factor)
+
+    def node_clock(self, node_id: NodeId) -> LooselySynchronizedClock:
+        """The loosely synchronized clock of ``node_id``.
+
+        Sharded deployments share one clock per node across all of its
+        shard replicas, so shard 0's clock is the node's clock.
+        """
+        if self.sharded:
+            return self.shard_replicas[(node_id, 0)].clock
+        return self.replicas[node_id].clock
+
+    def skew_clock(self, node_id: NodeId, delta: float, bound: Optional[float] = None) -> float:
+        """Step ``node_id``'s clock offset by ``delta`` seconds (gray fault).
+
+        With ``bound`` the resulting offset is clamped to ``[-bound,
+        +bound]`` — the loosely-synchronized-clock assumption the paper's
+        lease machinery relies on (§2.4). Returns the new offset.
+        """
+        return self.node_clock(node_id).nudge(delta, bound=bound)
 
     # --------------------------------------------------------------- running
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:

@@ -434,7 +434,10 @@ class ShardHost(NodeProcess):
             migration, len(self.shard_replicas), self.router._migrations
         )
         keys = sorted(key for key in source.store.keys() if moves(key))
-        values = {key: source.store.get(key) for key in keys}
+        # committed_value, not store.get: chain protocols that track
+        # committed state in per-key metadata (CRAQ) would otherwise ship
+        # their preload-era record values.
+        values = {key: source.committed_value(key) for key in keys}
         state = {
             "outstanding": len(keys),
             "epoch": message.epoch_id,

@@ -1,0 +1,64 @@
+"""Deterministic fault-schedule fuzzing.
+
+The fuzzer searches the protocols' fault space the way the paper's TLA+
+models search their state space — but over the *executable* reproduction,
+at smoke scale, with the whole-history checkers as oracle:
+
+====================  =====================================================
+module                role
+====================  =====================================================
+:mod:`.schedule`      seed-derived random fault schedules (crashes,
+                      restarts, partitions, gray failures, migrations)
+                      over protocols × shards × transaction mixes
+:mod:`.trial`         run one schedule end to end, judge it with
+                      :func:`repro.verification.check_all`
+:mod:`.shrink`        reduce a violating schedule to a minimal repro
+                      (event deletion, then time/parameter coarsening)
+:mod:`.corpus`        JSON schedule serialization + the committed
+                      regression corpus under ``tests/fuzz_corpus/``
+:mod:`.campaign`      bounded campaigns over the bench worker pool
+:mod:`.__main__`      CLI: ``python -m repro.fuzz campaign|replay|shrink``
+====================  =====================================================
+
+Everything is a pure function of seeds: a one-line seed reproduces a
+schedule, its run, and its shrink — there is no hidden state to store.
+"""
+
+from repro.fuzz.campaign import CampaignResult, run_campaign, select_corpus
+from repro.fuzz.corpus import (
+    load_corpus,
+    load_schedule,
+    save_schedule,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.fuzz.schedule import (
+    FuzzConfig,
+    FuzzSchedule,
+    derive_trial_seed,
+    fuzz_membership_config,
+    generate_schedule,
+)
+from repro.fuzz.shrink import is_one_minimal, shrink_schedule
+from repro.fuzz.trial import TrialOutcome, run_trial, schedule_violates
+
+__all__ = [
+    "CampaignResult",
+    "FuzzConfig",
+    "FuzzSchedule",
+    "TrialOutcome",
+    "derive_trial_seed",
+    "fuzz_membership_config",
+    "generate_schedule",
+    "is_one_minimal",
+    "load_corpus",
+    "load_schedule",
+    "run_campaign",
+    "run_trial",
+    "save_schedule",
+    "schedule_from_dict",
+    "schedule_to_dict",
+    "schedule_violates",
+    "select_corpus",
+    "shrink_schedule",
+]

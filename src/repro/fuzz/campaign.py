@@ -1,0 +1,117 @@
+"""Bounded fuzz campaigns over the bench worker pool.
+
+A campaign is: derive ``trials`` per-trial seeds from one root seed,
+generate each trial's schedule, fan the trials out across worker processes
+with :func:`repro.bench.runner.parallel_map` (the same pool the figure
+grids use), then shrink every violating schedule to a minimal repro.
+Everything is a pure function of ``(root_seed, trials, config)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.bench.runner import parallel_map
+from repro.fuzz.schedule import FuzzConfig, FuzzSchedule, derive_trial_seed, generate_schedule
+from repro.fuzz.shrink import shrink_schedule
+from repro.fuzz.trial import TrialOutcome, run_trial
+
+
+@dataclass
+class CampaignResult:
+    """Everything a bounded campaign produced.
+
+    Attributes:
+        root_seed: The campaign's root seed.
+        outcomes: One :class:`TrialOutcome` per trial, in trial order.
+        minimized: Shrunk repros, one per violating trial (in trial order),
+            when shrinking was enabled.
+    """
+
+    root_seed: int
+    outcomes: List[TrialOutcome] = field(default_factory=list)
+    minimized: List[FuzzSchedule] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[TrialOutcome]:
+        """Trials that failed a checker or crashed the harness."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def survivors(self) -> List[TrialOutcome]:
+        """Trials every checker passed."""
+        return [outcome for outcome in self.outcomes if outcome.ok]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the campaign found no violation."""
+        return not self.violations
+
+
+def run_campaign(
+    root_seed: int,
+    trials: int,
+    config: Optional[FuzzConfig] = None,
+    jobs: Optional[int] = None,
+    shrink: bool = True,
+    log: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Run a bounded fuzz campaign.
+
+    Args:
+        root_seed: Seed from which every trial seed is derived.
+        trials: Trial budget.
+        config: Schedule-space bounds; defaults to :class:`FuzzConfig`.
+        jobs: Worker processes for the trial fan-out (``1`` keeps trials
+            in-process — required when the campaign must observe
+            monkeypatched module state, e.g. the bug-injection self-test).
+        shrink: Whether to shrink violating schedules (in-process, serial).
+        log: Optional sink for one-line progress messages.
+
+    Returns:
+        The campaign's :class:`CampaignResult`.
+    """
+    config = config or FuzzConfig()
+    emit = log or (lambda message: None)
+    schedules = [
+        generate_schedule(derive_trial_seed(root_seed, index), config)
+        for index in range(trials)
+    ]
+    emit(f"campaign: root_seed={root_seed} trials={trials}")
+    outcomes = parallel_map(run_trial, schedules, jobs=jobs)
+    result = CampaignResult(root_seed=root_seed, outcomes=outcomes)
+    for outcome in result.violations:
+        emit(f"campaign: {outcome.describe()}")
+        if shrink:
+            result.minimized.append(shrink_schedule(outcome.schedule, log=log))
+    emit(
+        f"campaign: {len(result.survivors)}/{trials} survived, "
+        f"{len(result.violations)} violation(s)"
+    )
+    return result
+
+
+def select_corpus(outcomes: List[TrialOutcome], limit: int = 8) -> List[FuzzSchedule]:
+    """Pick a diverse subset of survived schedules for the regression corpus.
+
+    Diversity key: (protocol, shard count, migration presence, fault-kind
+    set) — one representative per combination, in trial order, capped at
+    ``limit``. Violating trials never enter the corpus; their minimized
+    repros belong in bug reports, not regression replays.
+    """
+    chosen: List[FuzzSchedule] = []
+    seen: Set[Tuple[str, int, bool, Tuple[str, ...]]] = set()
+    for outcome in outcomes:
+        if not outcome.ok:
+            continue
+        schedule = outcome.schedule
+        kinds = tuple(sorted({event.kind.value for event in schedule.events}))
+        signature = (schedule.protocol, schedule.shards, bool(schedule.migrations), kinds)
+        if signature in seen:
+            continue
+        seen.add(signature)
+        chosen.append(schedule)
+        if len(chosen) >= limit:
+            break
+    return chosen

@@ -1,0 +1,137 @@
+"""Schedule (de)serialization and the committed regression corpus.
+
+Schedules serialize to small sorted-key JSON documents so the corpus under
+``tests/fuzz_corpus/`` diffs cleanly in review. The serialized form carries
+the full experiment cell *and* the explicit event list — replaying a corpus
+entry never re-derives anything from generator defaults, so entries stay
+stable as :class:`repro.fuzz.schedule.FuzzConfig` evolves.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.cluster.failures import FailureEvent, FailureKind
+from repro.errors import ConfigurationError
+from repro.fuzz.schedule import FuzzSchedule
+from repro.membership.service import PlannedMigration
+from repro.membership.view import ShardMigration
+
+#: Bumped on incompatible schedule-JSON changes; loaders reject unknown
+#: versions instead of mis-replaying them.
+SCHEDULE_FORMAT = 1
+
+_EVENT_FIELDS = (
+    "node",
+    "groups",
+    "loss_rate",
+    "peer",
+    "latency_factor",
+    "duplicate_rate",
+    "duplicate_delay",
+    "cpu_factor",
+    "skew",
+    "skew_bound",
+)
+
+_SCHEDULE_FIELDS = (
+    "seed",
+    "protocol",
+    "num_replicas",
+    "shards",
+    "write_ratio",
+    "txn_fraction",
+    "num_keys",
+    "clients_per_replica",
+    "ops_per_client",
+    "max_sim_time",
+)
+
+
+def event_to_dict(event: FailureEvent) -> Dict[str, Any]:
+    """JSON-serializable form of one fault event (None fields omitted)."""
+    data: Dict[str, Any] = {"time": event.time, "kind": event.kind.value}
+    for name in _EVENT_FIELDS:
+        value = getattr(event, name)
+        if value is None:
+            continue
+        data[name] = [list(group) for group in value] if name == "groups" else value
+    return data
+
+
+def event_from_dict(data: Dict[str, Any]) -> FailureEvent:
+    """Inverse of :func:`event_to_dict`."""
+    kwargs = {name: data[name] for name in _EVENT_FIELDS if name in data}
+    if "groups" in kwargs:
+        kwargs["groups"] = [list(group) for group in kwargs["groups"]]
+    return FailureEvent(time=float(data["time"]), kind=FailureKind(data["kind"]), **kwargs)
+
+
+def schedule_to_dict(schedule: FuzzSchedule) -> Dict[str, Any]:
+    """JSON-serializable form of one schedule."""
+    data: Dict[str, Any] = {"format": SCHEDULE_FORMAT}
+    for name in _SCHEDULE_FIELDS:
+        data[name] = getattr(schedule, name)
+    data["events"] = [event_to_dict(event) for event in schedule.events]
+    data["migrations"] = [
+        {
+            "at_time": planned.at_time,
+            "source": planned.migration.source,
+            "target": planned.migration.target,
+            "stride": planned.migration.stride,
+            "offset": planned.migration.offset,
+        }
+        for planned in schedule.migrations
+    ]
+    return data
+
+
+def schedule_from_dict(data: Dict[str, Any]) -> FuzzSchedule:
+    """Inverse of :func:`schedule_to_dict`.
+
+    Raises:
+        ConfigurationError: on an unknown format version.
+    """
+    version = data.get("format")
+    if version != SCHEDULE_FORMAT:
+        raise ConfigurationError(
+            f"unsupported schedule format {version!r} (expected {SCHEDULE_FORMAT})"
+        )
+    fields = {name: data[name] for name in _SCHEDULE_FIELDS}
+    events = [event_from_dict(entry) for entry in data.get("events", [])]
+    migrations = [
+        PlannedMigration(
+            at_time=float(entry["at_time"]),
+            migration=ShardMigration(
+                source=int(entry["source"]),
+                target=int(entry["target"]),
+                stride=int(entry.get("stride", 2)),
+                offset=int(entry.get("offset", 0)),
+            ),
+        )
+        for entry in data.get("migrations", [])
+    ]
+    return FuzzSchedule(events=events, migrations=migrations, **fields)
+
+
+def save_schedule(schedule: FuzzSchedule, path: Union[str, Path]) -> Path:
+    """Write one schedule as pretty sorted-key JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(schedule_to_dict(schedule), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_schedule(path: Union[str, Path]) -> FuzzSchedule:
+    """Load one schedule from a JSON file."""
+    return schedule_from_dict(json.loads(Path(path).read_text()))
+
+
+def load_corpus(directory: Union[str, Path]) -> List[Tuple[str, FuzzSchedule]]:
+    """Load every ``*.json`` schedule in a corpus directory, name-sorted."""
+    return [
+        (path.stem, load_schedule(path))
+        for path in sorted(Path(directory).glob("*.json"))
+    ]

@@ -1,0 +1,164 @@
+"""Shrink violating fault schedules to minimal repros.
+
+Two phases, each candidate re-verified against the oracle before it is
+kept (a shrink step must preserve the violation, never just plausibility):
+
+1. **Event deletion** — greedily drop fault events and planned migrations,
+   one at a time, repeating until a fixpoint. At the fixpoint every
+   surviving event is load-bearing: deleting any single one makes the
+   schedule pass (:func:`is_one_minimal` checks exactly this).
+2. **Coarsening** — simplify the survivors in place: round event times to
+   fewer digits, drop per-link loss entirely, round latency/CPU factors
+   and clock skews to rounder numbers. This turns a repro like
+   ``slow_link@0.013472 ×7.43 loss 0.173`` into ``slow_link@0.01 ×7.0``
+   when the precision was incidental.
+
+The oracle is any ``FuzzSchedule -> bool`` predicate (True = still
+violating); the default re-runs the trial. Determinism of trials makes the
+whole shrink deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.cluster.failures import FailureEvent
+from repro.fuzz.schedule import FuzzSchedule
+from repro.fuzz.trial import schedule_violates
+
+#: ``oracle(schedule)`` returns True while the schedule still violates.
+Oracle = Callable[[FuzzSchedule], bool]
+
+
+def drop_event(schedule: FuzzSchedule, index: int) -> FuzzSchedule:
+    """A copy of ``schedule`` without fault event ``index``."""
+    events = list(schedule.events)
+    del events[index]
+    return replace(schedule, events=events)
+
+
+def drop_migration(schedule: FuzzSchedule, index: int) -> FuzzSchedule:
+    """A copy of ``schedule`` without planned migration ``index``."""
+    migrations = list(schedule.migrations)
+    del migrations[index]
+    return replace(schedule, migrations=migrations)
+
+
+def _swap_event(schedule: FuzzSchedule, index: int, event: FailureEvent) -> FuzzSchedule:
+    events = list(schedule.events)
+    events[index] = event
+    return replace(schedule, events=events)
+
+
+def _coarsen_event(schedule: FuzzSchedule, index: int, oracle: Oracle) -> FuzzSchedule:
+    """Simplify one event's time and parameters, keeping the violation."""
+
+    def attempt(**changes: object) -> None:
+        nonlocal schedule
+        event = schedule.events[index]
+        updated = replace(event, **changes)
+        if updated == event:
+            return
+        candidate = _swap_event(schedule, index, updated)
+        if oracle(candidate):
+            schedule = candidate
+
+    for digits in (2, 3):
+        rounded = round(schedule.events[index].time, digits)
+        if rounded >= 0:
+            attempt(time=rounded)
+    event = schedule.events[index]
+    if event.latency_factor is not None:
+        attempt(latency_factor=float(round(schedule.events[index].latency_factor)))
+    if event.loss_rate is not None:
+        attempt(loss_rate=0.0)
+        attempt(loss_rate=round(schedule.events[index].loss_rate, 1))
+    if event.duplicate_rate is not None:
+        attempt(duplicate_rate=0.0)
+        attempt(duplicate_rate=round(schedule.events[index].duplicate_rate, 1))
+    if event.duplicate_delay is not None:
+        attempt(duplicate_delay=0.0)
+        attempt(duplicate_delay=round(schedule.events[index].duplicate_delay, 4))
+    if event.cpu_factor is not None:
+        attempt(cpu_factor=float(round(schedule.events[index].cpu_factor)))
+    if event.skew is not None:
+        attempt(skew=round(schedule.events[index].skew, 3))
+    return schedule
+
+
+def shrink_schedule(
+    schedule: FuzzSchedule,
+    oracle: Optional[Oracle] = None,
+    coarsen: bool = True,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzSchedule:
+    """Reduce a violating schedule to a minimal, coarse repro.
+
+    Args:
+        schedule: A schedule for which ``oracle(schedule)`` is True.
+        oracle: Violation predicate; defaults to re-running the trial.
+        coarsen: Whether to run the time/parameter coarsening phase.
+        log: Optional sink for one-line progress messages.
+
+    Returns:
+        A schedule that still violates, from which no single event or
+        migration can be deleted without losing the violation.
+    """
+    oracle = oracle or schedule_violates
+    emit = log or (lambda message: None)
+    current = schedule
+
+    def delete_to_fixpoint(current: FuzzSchedule) -> FuzzSchedule:
+        changed = True
+        while changed:
+            changed = False
+            for index in reversed(range(len(current.events))):
+                candidate = drop_event(current, index)
+                if oracle(candidate):
+                    emit(f"shrink: dropped event {index} ({current.events[index].kind.value})")
+                    current = candidate
+                    changed = True
+            for index in reversed(range(len(current.migrations))):
+                candidate = drop_migration(current, index)
+                if oracle(candidate):
+                    emit(f"shrink: dropped migration {index}")
+                    current = candidate
+                    changed = True
+        return current
+
+    # Coarsening can make a previously load-bearing event redundant (a
+    # rounder parameter may carry the violation alone), so alternate the
+    # phases until a full pass changes nothing — the result is one-minimal
+    # *after* coarsening, not just before it.
+    while True:
+        current = delete_to_fixpoint(current)
+        if not coarsen:
+            break
+        before = current
+        for index in range(len(current.events)):
+            current = _coarsen_event(current, index, oracle)
+        if current == before:
+            break
+
+    emit(
+        f"shrink: {len(schedule.events)}+{len(schedule.migrations)} -> "
+        f"{len(current.events)}+{len(current.migrations)} events+migrations"
+    )
+    return current
+
+
+def is_one_minimal(schedule: FuzzSchedule, oracle: Optional[Oracle] = None) -> bool:
+    """Whether every event and migration of ``schedule`` is load-bearing.
+
+    True iff deleting any single fault event or planned migration makes the
+    schedule stop violating — the post-condition of the deletion phase.
+    """
+    oracle = oracle or schedule_violates
+    for index in range(len(schedule.events)):
+        if oracle(drop_event(schedule, index)):
+            return False
+    for index in range(len(schedule.migrations)):
+        if oracle(drop_migration(schedule, index)):
+            return False
+    return True

@@ -339,6 +339,18 @@ class ReplicaNode(NodeProcess):
         """Install an initial value during dataset loading (no replication)."""
         self.store.put(key, value)
 
+    def committed_value(self, key: Key) -> Value:
+        """The latest locally committed value of ``key``.
+
+        State transfer (the live migration's copy phase) must read through
+        this accessor, never ``store.get`` directly: protocols that keep
+        committed state in per-key metadata rather than the raw record
+        value (CRAQ's version map) override it. Found by fault-schedule
+        fuzzing — the copy used to ship CRAQ's preload-era record values,
+        losing every write since startup.
+        """
+        return self.store.get(key)
+
     def value_size_of(self, value: Value) -> int:
         """Wire size of a value (uses actual length for bytes/str payloads)."""
         if isinstance(value, (bytes, bytearray, str)):

@@ -25,6 +25,15 @@ from repro.types import Key, NodeId, Operation, OpStatus, OpType, Value
 #: Small constant wire overhead of CR control fields.
 CR_HEADER_BYTES = 16
 
+#: Whether replicas apply a write-down only when its version exceeds the
+#: local one. The guard is what keeps replicas convergent when the fabric
+#: reorders write-downs (see :meth:`ChainReplicationReplica._on_write_down`);
+#: it must stay True in any real run. The fuzzing harness's self-test
+#: (tests/test_fuzz.py) monkeypatches it to False to demonstrate that a
+#: deliberately reintroduced safety bug is caught by the checker oracles
+#: and shrunk to a minimal fault schedule.
+WRITE_DOWN_VERSION_GUARD = True
+
 
 @dataclass(frozen=True, slots=True)
 class CrWriteRequest:
@@ -203,7 +212,7 @@ class ChainReplicationReplica(ReplicaNode):
         # Stale write-downs are still forwarded/committed so their origin
         # receives a reply.
         meta = self._meta(message.key)
-        if message.version > meta.version:
+        if message.version > meta.version or not WRITE_DOWN_VERSION_GUARD:
             meta.version = message.version
             self.store.put(message.key, message.value, meta=meta)
         if self.is_tail:
@@ -215,7 +224,7 @@ class ChainReplicationReplica(ReplicaNode):
 
     def _tail_commit(self, key: Key, version: int, value: Value, origin: NodeId, op_id: int) -> None:
         meta = self._meta(key)
-        if version > meta.version:
+        if version > meta.version or not WRITE_DOWN_VERSION_GUARD:
             meta.version = version
             self.store.put(key, value, meta=meta)
         self.writes_committed += 1

@@ -370,5 +370,17 @@ class CraqReplica(ReplicaNode):
         record = self.store.put(key, value, meta=CraqKeyMeta())
         record.meta.versions[0] = value
 
+    def committed_value(self, key: Key) -> Value:
+        """Latest committed value — from the version map, not the record.
+
+        CRAQ never rewrites the raw record value after preload (committed
+        state lives in :class:`CraqKeyMeta`), so the base implementation
+        would return the preload-era value forever.
+        """
+        record = self.store.try_get_record(key)
+        if record is None or record.meta is None:
+            return self.store.get(key)
+        return record.meta.committed_value()
+
 
 register_protocol("craq", CraqReplica)

@@ -74,6 +74,22 @@ class LooselySynchronizedClock:
         """Return the node-local reading for the given true simulated time."""
         return true_time * (1.0 + self._drift) + self._offset
 
+    def nudge(self, delta: float, bound: Optional[float] = None) -> float:
+        """Shift this clock's offset by ``delta`` seconds (a gray fault).
+
+        Models a step change from a misbehaving time service. When ``bound``
+        is given the resulting offset is clamped to ``[-bound, +bound]``,
+        matching the loosely-synchronized-clock assumption that skew stays
+        bounded even under faults (paper §2.4). Returns the new offset.
+        """
+        offset = self._offset + delta
+        if bound is not None:
+            if bound < 0:
+                raise ConfigurationError("clock skew bound must be non-negative")
+            offset = max(-bound, min(bound, offset))
+        self._offset = offset
+        return offset
+
     def max_divergence(self, true_time: float, other: "LooselySynchronizedClock") -> float:
         """Upper bound on the divergence between this clock and ``other``.
 

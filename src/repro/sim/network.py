@@ -150,6 +150,48 @@ class Partition:
 
 
 @dataclass(slots=True)
+class LinkFault:
+    """A gray failure of one directed link (slow and/or lossy, not dead).
+
+    Gray failures are the degraded-but-alive conditions real fabrics
+    exhibit (a flaky optic, an overloaded ToR port): the link keeps
+    delivering, but slower and with extra loss, so timeouts and protocol
+    assumptions are stressed without any crash notification firing.
+
+    Attributes:
+        latency_factor: Multiplier applied to the sampled one-way latency
+            of every message crossing the link (``>= 1`` slows it down).
+        loss_rate: Extra, per-link probability that a message crossing the
+            link is silently dropped (drawn after the global loss check).
+        duplicate_rate: Extra, per-link probability that a delivered
+            message is delivered a second time with independent latency —
+            the flaky-NIC/retransmitting-switch gray failure that stale
+            write-down guards exist to absorb.
+        duplicate_delay: Upper bound of the extra delay (seconds) added to
+            the duplicate copy, drawn uniformly per duplicate. A real
+            retransmission fires after a timeout, so the dangerous
+            duplicate is a *late* one — arriving after newer traffic for
+            the same key has already been applied.
+    """
+
+    latency_factor: float = 1.0
+    loss_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    duplicate_delay: float = 0.0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` for invalid settings."""
+        if self.latency_factor <= 0:
+            raise ConfigurationError("latency_factor must be positive")
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ConfigurationError("link loss_rate must be a probability in [0, 1]")
+        if not 0.0 <= self.duplicate_rate <= 1.0:
+            raise ConfigurationError("link duplicate_rate must be a probability in [0, 1]")
+        if self.duplicate_delay < 0.0:
+            raise ConfigurationError("link duplicate_delay must be non-negative")
+
+
+@dataclass(slots=True)
 class NetworkStats:
     """Counters describing what the network has done so far.
 
@@ -195,6 +237,11 @@ class Network:
         self._inbox_procs: Dict[NodeId, Any] = {}
         self._crashed: Set[NodeId] = set()
         self._partition: Optional[Partition] = None
+        #: Gray per-link degradations, keyed by directed ``(src, dst)`` pair.
+        #: Empty in healthy runs: the hot paths gate every lookup behind one
+        #: dict-truthiness check and draw no extra randomness, so runs
+        #: without link faults consume the RNG stream byte-identically.
+        self._link_faults: Dict[Tuple[NodeId, NodeId], LinkFault] = {}
         self.stats = NetworkStats()
         # Bulk-prefetched raw uniform draws; every probabilistic decision
         # (jitter, loss, duplication, reordering) consumes from this buffer
@@ -256,6 +303,49 @@ class Network:
         """Install (or clear, with ``None``) a network partition."""
         self._partition = partition
 
+    def degrade_link(
+        self,
+        src: NodeId,
+        dst: NodeId,
+        latency_factor: float = 1.0,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        duplicate_delay: float = 0.0,
+        symmetric: bool = True,
+    ) -> None:
+        """Install a gray fault on the ``src -> dst`` link.
+
+        A fault equal to the healthy defaults (factor 1.0, zero loss, zero
+        duplication) clears the link (equivalent to :meth:`heal_link`).
+        With ``symmetric`` the reverse direction is degraded identically —
+        the common physical failure (a bad cable/port) hits both
+        directions.
+        """
+        fault = LinkFault(
+            latency_factor=latency_factor,
+            loss_rate=loss_rate,
+            duplicate_rate=duplicate_rate,
+            duplicate_delay=duplicate_delay,
+        )
+        fault.validate()
+        pairs = [(src, dst), (dst, src)] if symmetric else [(src, dst)]
+        if fault == LinkFault():
+            for pair in pairs:
+                self._link_faults.pop(pair, None)
+            return
+        for pair in pairs:
+            self._link_faults[pair] = fault
+
+    def heal_link(self, src: NodeId, dst: NodeId, symmetric: bool = True) -> None:
+        """Remove any gray fault from the ``src -> dst`` link."""
+        self._link_faults.pop((src, dst), None)
+        if symmetric:
+            self._link_faults.pop((dst, src), None)
+
+    def link_fault(self, src: NodeId, dst: NodeId) -> Optional[LinkFault]:
+        """The gray fault currently installed on ``src -> dst``, if any."""
+        return self._link_faults.get((src, dst))
+
     @property
     def partition(self) -> Optional[Partition]:
         """The currently installed partition, if any."""
@@ -313,6 +403,14 @@ class Network:
         if cfg.loss_rate > 0.0 and self._next_random() < cfg.loss_rate:
             stats.messages_dropped_loss += 1
             return
+        # Gray per-link fault: one dict-truthiness check on healthy runs;
+        # the extra loss draw happens only when the crossed link actually
+        # carries a lossy fault, so fault-free RNG streams are untouched.
+        link_fault = self._link_faults.get((src, dst)) if self._link_faults else None
+        if link_fault is not None and link_fault.loss_rate > 0.0:
+            if self._next_random() < link_fault.loss_rate:
+                stats.messages_dropped_loss += 1
+                return
 
         # Inlined _sample_latency + delivery dispatch (once per message on
         # the hot path; the helpers keep the canonical spelling).
@@ -330,6 +428,8 @@ class Network:
         latency += total_bytes * cfg.per_byte_latency
         if cfg.reorder_rate > 0.0 and self._next_random() < cfg.reorder_rate:
             latency += cfg.reorder_extra_latency * self._next_random()
+        if link_fault is not None:
+            latency *= link_fault.latency_factor
         if proc is not None:
             sim = self.sim
             seq = sim._seq
@@ -340,7 +440,29 @@ class Network:
 
         if cfg.duplicate_rate > 0.0 and self._next_random() < cfg.duplicate_rate:
             stats.messages_duplicated += 1
-            self._schedule_delivery(proc, src, dst, message, total_bytes)
+            self._schedule_delivery(
+                proc,
+                src,
+                dst,
+                message,
+                total_bytes,
+                1.0 if link_fault is None else link_fault.latency_factor,
+            )
+        if (
+            link_fault is not None
+            and link_fault.duplicate_rate > 0.0
+            and self._next_random() < link_fault.duplicate_rate
+        ):
+            stats.messages_duplicated += 1
+            self._schedule_delivery(
+                proc,
+                src,
+                dst,
+                message,
+                total_bytes,
+                link_fault.latency_factor,
+                link_fault.duplicate_delay * self._next_random(),
+            )
 
     def broadcast(
         self,
@@ -382,6 +504,7 @@ class Network:
         base = cfg.base_latency + total_bytes * cfg.per_byte_latency
         now = self.sim._now
         inbox_get = self._inbox_procs.get
+        link_faults = self._link_faults
         for dst in destinations:
             proc = inbox_get(dst)
             if proc is None and dst not in self._receivers:
@@ -399,6 +522,13 @@ class Network:
             if loss_rate > 0.0 and self._next_random() < loss_rate:
                 stats.messages_dropped_loss += 1
                 continue
+            # Gray per-link fault: same gating as :meth:`send` — healthy
+            # runs pay one truthiness check and draw nothing extra.
+            link_fault = link_faults.get((src, dst)) if link_faults else None
+            if link_fault is not None and link_fault.loss_rate > 0.0:
+                if self._next_random() < link_fault.loss_rate:
+                    stats.messages_dropped_loss += 1
+                    continue
             if jitter > 0.0:
                 idx = self._rand_idx
                 buf = self._rand_buf
@@ -415,6 +545,8 @@ class Network:
                 latency = base
             if reorder_rate > 0.0 and self._next_random() < reorder_rate:
                 latency += cfg.reorder_extra_latency * self._next_random()
+            if link_fault is not None:
+                latency *= link_fault.latency_factor
             if proc is not None:
                 sim = self.sim
                 seq = sim._seq
@@ -424,13 +556,46 @@ class Network:
                 self.sim.schedule(latency, self._deliver, src, dst, message, total_bytes)
             if duplicate_rate > 0.0 and self._next_random() < duplicate_rate:
                 stats.messages_duplicated += 1
-                self._schedule_delivery(proc, src, dst, message, total_bytes)
+                self._schedule_delivery(
+                    proc,
+                    src,
+                    dst,
+                    message,
+                    total_bytes,
+                    1.0 if link_fault is None else link_fault.latency_factor,
+                )
+            if (
+                link_fault is not None
+                and link_fault.duplicate_rate > 0.0
+                and self._next_random() < link_fault.duplicate_rate
+            ):
+                stats.messages_duplicated += 1
+                self._schedule_delivery(
+                    proc,
+                    src,
+                    dst,
+                    message,
+                    total_bytes,
+                    link_fault.latency_factor,
+                    link_fault.duplicate_delay * self._next_random(),
+                )
 
     # -------------------------------------------------------------- internal
     def _schedule_delivery(
-        self, proc: Any, src: NodeId, dst: NodeId, message: Any, total_bytes: int
+        self,
+        proc: Any,
+        src: NodeId,
+        dst: NodeId,
+        message: Any,
+        total_bytes: int,
+        latency_factor: float = 1.0,
+        extra_delay: float = 0.0,
     ) -> None:
         latency = self._sample_latency(total_bytes)
+        if latency_factor != 1.0:
+            latency *= latency_factor
+        if extra_delay > 0.0:
+            latency += extra_delay
         if proc is not None:
             sim = self.sim
             seq = sim._seq

@@ -204,8 +204,11 @@ class NodeProcess:
         #: paths pay one is-None check, like the txn hooks in protocols.base.
         self._sanitizer = get_sanitizer()
         self.messages_processed = 0
-        # Flattened service-model constants for the hot paths (the model is
-        # validated at construction and never mutated afterwards).
+        # Flattened service-model constants for the hot paths. The model
+        # instance itself is never mutated (it may be shared across nodes);
+        # :meth:`set_cpu_scale` swaps in a scaled private copy instead.
+        self._base_service_model = self.service_model
+        self._cpu_scale = 1.0
         model = self.service_model
         self._sm_base = model.base
         self._sm_per_byte = model.per_byte
@@ -310,6 +313,40 @@ class NodeProcess:
                 self._drop_event = None
             if self._inbox and not self._processing and not self._head_scheduled:
                 self._schedule_head()
+
+    @property
+    def cpu_scale(self) -> float:
+        """Current CPU slowdown factor (1.0 when healthy)."""
+        return self._cpu_scale
+
+    def set_cpu_scale(self, factor: float) -> None:
+        """Scale every CPU cost on this node by ``factor`` (gray fault).
+
+        A factor above 1.0 models a slow node (thermal throttling, a noisy
+        neighbour); 1.0 restores full speed. The shared base model is never
+        mutated — a scaled private copy replaces ``self.service_model`` so
+        other nodes built from the same :class:`ServiceTimeModel` instance
+        are unaffected. Work already charged keeps its original cost; only
+        costs computed after the call see the new factor.
+        """
+        if factor <= 0:
+            raise ConfigurationError("cpu_scale factor must be positive")
+        self._cpu_scale = factor
+        base = self._base_service_model
+        if factor == 1.0:
+            self.service_model = base
+        else:
+            self.service_model = ServiceTimeModel(
+                base=base.base * factor,
+                per_byte=base.per_byte * factor,
+                send_overhead=base.send_overhead * factor,
+                worker_threads=base.worker_threads,
+            )
+        model = self.service_model
+        self._sm_base = model.base
+        self._sm_per_byte = model.per_byte
+        self._sm_send_overhead = model.send_overhead
+        self._sm_workers = model.worker_threads
 
     # ------------------------------------------------------------- messaging
     def deliver(self, src: NodeId, message: Any, size_bytes: int) -> None:

@@ -18,6 +18,10 @@ executions:
 * :mod:`repro.verification.migration` — live shard-migration atomicity:
   no operation observes pre-migration state after the routing flip (see
   :mod:`repro.cluster.sharding`).
+* :mod:`repro.verification.report` — the :func:`check_all` facade running
+  every applicable checker over one history and returning a structured
+  :class:`VerificationReport` (used by the fault-schedule fuzzer's oracle
+  loop and the figures' inline verification alike).
 """
 
 from repro.verification.history import CompletedOperation, History, TransactionRecord
@@ -28,15 +32,19 @@ from repro.verification.invariants import (
     check_values_from_history,
 )
 from repro.verification.linearizability import LinearizabilityChecker, check_history
+from repro.verification.report import CheckerReport, VerificationReport, check_all
 from repro.verification.transactions import TxnCheckResult, check_transactions
 
 __all__ = [
+    "CheckerReport",
     "CompletedOperation",
     "History",
     "LinearizabilityChecker",
     "MigrationCheckResult",
     "TransactionRecord",
     "TxnCheckResult",
+    "VerificationReport",
+    "check_all",
     "check_history",
     "check_migration",
     "check_no_pending_updates",

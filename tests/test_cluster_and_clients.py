@@ -63,7 +63,7 @@ def test_crash_and_live_replicas():
 
 def test_crash_at_schedules_future_crash():
     cluster = make_cluster("hermes", 3)
-    cluster.crash_at(1, 1e-3)
+    cluster._crash_at(1, 1e-3)
     cluster.run(until=0.5e-3)
     assert not cluster.replica(1).crashed
     cluster.run(until=2e-3)
@@ -136,6 +136,30 @@ def test_open_loop_client_issues_at_rate():
     assert client.done
     # 50 arrivals at 100k/s take roughly 0.5 ms of simulated time.
     assert 1e-4 < cluster.sim.now < 5e-2
+
+
+def test_closed_loop_client_resumes_after_bound_node_recovers():
+    # Regression: the crashed-node skip used to stall the closed loop
+    # forever — RECOVER never restarted the issue chain, so a recovered
+    # node stopped receiving submissions for the rest of the run.
+    cluster = make_cluster("hermes", 3)
+    workload = small_workload(0.3)
+    cluster.preload(workload.initial_dataset())
+    client = ClosedLoopClient(1, cluster, workload, max_ops=40)
+    assert client.replica_id == 1
+    crash_time, recover_time = 0.02e-3, 0.06e-3
+    cluster.sim.schedule_at(crash_time, cluster.crash, 1)
+    cluster.sim.schedule_at(recover_time, cluster.recover, 1)
+    # An op in flight at the crash instant may be legitimately lost (no
+    # client-level retry), so the run is bounded rather than run-to-done.
+    run_clients(cluster, [client], max_time=5e-3, allow_incomplete=True)
+    resumed = [
+        r
+        for r in client.results
+        if r.start_time > recover_time and r.status is OpStatus.OK
+    ]
+    assert resumed, "recovered node never resumed receiving this session's submissions"
+    assert all(r.served_by == 1 for r in client.results)
 
 
 def test_client_history_recording_is_linearizable():

@@ -139,3 +139,16 @@ def test_view_change_rebuilds_chain(craq_cluster):
     replica = craq_cluster.replica(0)
     replica.on_view_change(replica.view.without(2))
     assert replica.chain == [0, 1]
+
+
+def test_committed_value_tracks_writes_not_preload(craq_cluster):
+    # CRAQ keeps committed state in its per-key version map and never
+    # rewrites the raw record value after preload. State transfer must
+    # therefore read through committed_value(); store.get would return the
+    # preload-era value forever (the stale-migration-copy bug found by
+    # fault-schedule fuzzing).
+    craq_cluster.preload({"k": "initial"})
+    submit_and_run(craq_cluster, 0, Operation.write("k", "current"))
+    craq_cluster.run(until=craq_cluster.sim.now + 1e-3)
+    for replica in craq_cluster.replicas.values():
+        assert replica.committed_value("k") == "current"

@@ -1,0 +1,34 @@
+"""Replay the committed fuzz-corpus schedules as regression tests.
+
+Every schedule under ``tests/fuzz_corpus/`` once survived a fuzz campaign;
+replaying it asserts the full fault pipeline (schedule -> injected faults ->
+bounded run -> every checker) still passes on exactly that interleaving.
+A failure here is a safety regression, not flakiness: trials are
+deterministic functions of the serialized schedule.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import load_corpus, run_trial
+
+CORPUS_DIR = Path(__file__).parent / "fuzz_corpus"
+CORPUS = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, f"no schedules committed under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize(
+    "name,schedule", CORPUS, ids=[name for name, _ in CORPUS]
+)
+def test_corpus_schedule_replays_clean(name, schedule):
+    outcome = run_trial(schedule)
+    assert outcome.error is None, outcome.error
+    assert outcome.ok, (
+        f"{name} ({schedule.describe()}) regressed: {outcome.violations}"
+    )

@@ -19,6 +19,7 @@ import pytest
 
 from repro.bench.experiments import figure_9_failure
 from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.failures import FailureEvent, FailureInjector
 from repro.errors import BenchmarkError
 from repro.membership.detector import FailureDetectorConfig
 from repro.membership.service import MembershipConfig
@@ -47,7 +48,7 @@ def sharded_membership_cluster(
 
 def test_crash_reconfigures_every_shard_replica():
     cluster = sharded_membership_cluster()
-    cluster.crash_at(3, 0.020)
+    FailureInjector(cluster, [FailureEvent.crash(0.020, 3)]).arm()
     cluster.run(until=0.400)
     service = cluster.membership_service
     assert service.reconfigurations == 1
@@ -70,7 +71,7 @@ def test_role_rings_recompute_consistently_across_shards():
         for s in range(4)
         if n != 1
     }
-    cluster.crash_at(1, 0.020)
+    FailureInjector(cluster, [FailureEvent.crash(0.020, 1)]).arm()
     cluster.run(until=0.400)
     for (n, s), before in rings_before.items():
         ring = cluster.shard_replicas[(n, s)].role_ring()
@@ -82,8 +83,9 @@ def test_role_rings_recompute_consistently_across_shards():
 
 def test_recovered_node_stays_outside_the_view():
     cluster = sharded_membership_cluster()
-    cluster.crash_at(3, 0.020)
-    cluster.sim.schedule_at(0.300, cluster.recover, 3)
+    FailureInjector(
+        cluster, [FailureEvent.crash(0.020, 3), FailureEvent.recover(0.300, 3)]
+    ).arm()
     cluster.run(until=0.400)
     # The node is alive again but was removed from the view: its replicas
     # must refuse to serve.

@@ -15,6 +15,7 @@ import pytest
 
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.client import ClosedLoopClient
+from repro.cluster.failures import FailureEvent, FailureInjector
 from repro.cluster.sharding import ShardRouter
 from repro.errors import ConfigurationError
 from repro.membership.detector import FailureDetectorConfig
@@ -263,7 +264,7 @@ def test_crash_during_migration_cancels_and_recovers():
         client.start()
     # Crash node 2 just before the migration starts: its freeze ack never
     # arrives, so the watchdog must cancel the rebalance.
-    cluster.crash_at(2, 0.0495)
+    FailureInjector(cluster, [FailureEvent.crash(0.0495, 2)]).arm()
     cluster.run(until=0.450)
     service = cluster.membership_service
     assert service.migrations_cancelled == 1

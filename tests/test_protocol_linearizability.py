@@ -12,6 +12,7 @@ import pytest
 
 from repro.cluster.client import ClosedLoopClient, run_clients
 from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.failures import FailureEvent, FailureInjector
 from repro.core.config import HermesConfig
 from repro.sim.network import NetworkConfig
 from repro.types import OpStatus
@@ -121,7 +122,7 @@ def test_hermes_linearizable_across_a_crash_and_reconfiguration():
         ClosedLoopClient(i, cluster, workload, max_ops=40, history=history, replica_id=i % 4)
         for i in range(8)
     ]
-    cluster.crash_at(4, 2e-3)
+    FailureInjector(cluster, [FailureEvent.crash(2e-3, 4)]).arm()
     for session in sessions:
         session.start()
     cluster.run_until(

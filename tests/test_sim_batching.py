@@ -19,6 +19,7 @@ import pytest
 from repro.bench.harness import ExperimentSpec, run_experiment
 from repro.bench.runner import figure_to_dict
 from repro.cluster.cluster import Cluster, ClusterConfig
+from repro.cluster.failures import FailureEvent, FailureInjector
 from repro.sim.engine import Simulator
 from repro.sim.network import Network, NetworkConfig
 from repro.sim.node import NodeProcess, ServiceTimeModel
@@ -176,7 +177,7 @@ def test_network_stats_conserved_across_crash(unbatched, monkeypatch):
     ]
     for client in clients:
         client.start()
-    cluster.crash_at(2, 20e-6)
+    FailureInjector(cluster, [FailureEvent.crash(20e-6, 2)]).arm()
     cluster.run(until=200e-6)
     cluster.crash(0)
     cluster.crash(1)  # stop the survivors issuing; then drain in-flight traffic

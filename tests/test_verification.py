@@ -14,6 +14,9 @@ from repro.verification.invariants import (
     check_values_from_history,
 )
 from repro.verification.linearizability import LinearizabilityChecker, check_history
+from repro.membership.service import MigrationRecord
+from repro.membership.view import ShardMigration
+from repro.verification.report import check_all
 from tests.conftest import make_cluster, submit_and_run
 
 
@@ -215,3 +218,65 @@ def test_values_from_history_check(hermes_cluster):
         check_values_from_history(
             hermes_cluster.replicas.values(), history, initial_dataset={"k": "init"}
         )
+
+
+# ------------------------------------------------------- check_all facade
+def test_check_all_passes_and_reports_per_checker():
+    history = History()
+    w, r = Operation.write("k", 1), Operation.read("k")
+    record(history, w, 0.0, 1.0, result=1)
+    record(history, r, 2.0, 3.0, result=1)
+    report = check_all(history)
+    assert report.ok
+    assert report.passed("linearizability")
+    assert report.passed("transactions")
+    assert report.checker("migration") is None
+    assert not report.passed("migration")
+    assert report.summary() == {"linearizability": True, "transactions": True}
+    assert report.violations == []
+
+
+def test_check_all_flags_linearizability_violation_with_prefix():
+    history = History()
+    w, r = Operation.write("k", 1), Operation.read("k")
+    record(history, w, 0.0, 1.0, result=1)
+    record(history, r, 2.0, 3.0, result=None)  # stale read after the write
+    report = check_all(history)
+    assert not report.ok
+    assert not report.passed("linearizability")
+    lin = report.checker("linearizability")
+    assert lin is not None and lin.violations
+    assert report.violations[0].startswith("[linearizability]")
+
+
+def test_check_all_transactions_toggle():
+    report = check_all(History(), include_transactions=False)
+    assert report.checker("transactions") is None
+    assert report.summary() == {"linearizability": True}
+
+
+def test_check_all_aggregates_migration_records():
+    history = History()
+    record(history, Operation.write("k", "new"), 10.0, 11.0, result="new")
+    records = [
+        MigrationRecord(
+            migration=ShardMigration(source=0, target=1),
+            freeze_time=1.0,
+            frozen_time=1.1,
+            copied_time=1.2,
+            flip_time=1.3,
+            values={"k": "old"},
+        ),
+        MigrationRecord(
+            migration=ShardMigration(source=1, target=0),
+            freeze_time=5.0,
+            frozen_time=5.1,
+            copied_time=5.2,
+            flip_time=5.3,
+        ),
+    ]
+    report = check_all(history, migration_records=records)
+    migration = report.checker("migration")
+    assert migration is not None
+    assert migration.details["migrations"] == 2
+    assert report.ok
