@@ -86,6 +86,16 @@ TXN_FRACTION: float = 0.25
 #: probability (more locks per transaction, wider cross-shard spans).
 TXN_KEYS: int = 3
 
+#: ``txn_fraction`` axis of the transaction-grid figure.
+TXN_FRACTION_POINTS: Tuple[float, ...] = (0.1, 0.25, 0.5)
+
+#: ``txn_keys`` axis of the transaction-grid figure.
+TXN_KEYS_POINTS: Tuple[int, ...] = (2, 3, 4)
+
+#: Shard count held fixed by the transaction-grid figure (mid-sweep point
+#: of :data:`SHARD_COUNTS`, large enough that cross-shard 2PC dominates).
+TXN_GRID_SHARDS: int = 4
+
 
 @dataclass
 class FigureResult:
@@ -790,6 +800,101 @@ def figure_txn(
             [
                 shards,
                 cross if cross == "off" else f"{cross:.1f}",
+                f"{run.throughput:,.0f}",
+                committed,
+                aborted,
+                f"{abort_rate:.3f}",
+                f"{run.overall_latency.p99_us:.1f}",
+            ]
+        )
+    return result
+
+
+def figure_txn_grid(
+    scale: Optional[Scale] = None,
+    protocol: str = "hermes",
+    shards: int = TXN_GRID_SHARDS,
+    txn_fractions: Sequence[float] = TXN_FRACTION_POINTS,
+    txn_keys_points: Sequence[int] = TXN_KEYS_POINTS,
+    txn_cross_shard: float = 0.5,
+    write_ratio: float = 0.5,
+    zipfian_exponent: float = 0.99,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+) -> FigureResult:
+    """The contention surface: ``txn_fraction`` x ``txn_keys`` at fixed shards.
+
+    Complements :func:`figure_txn` (which sweeps the cross-shard
+    probability) by sweeping the other two transaction-grid axes at S =
+    ``TXN_GRID_SHARDS`` coupled shards and a 50% cross-shard probability.
+    Expected shape:
+
+    * at fixed ``txn_keys``, raising ``txn_fraction`` grows the absolute
+      number of aborts roughly linearly — more transactions contend for
+      the same zipfian-hot locks;
+    * at fixed ``txn_fraction``, raising ``txn_keys`` raises the **abort
+      rate**: every extra key is another no-wait lock the transaction must
+      win, and another chance to span a second shard and hold its locks
+      across the full 2PC round.
+    """
+    scale = scale or Scale.default()
+    result = FigureResult(
+        figure=(
+            f"Transaction grid (txn_fraction x txn_keys, {shards} coupled "
+            "shards, zipfian 0.99)"
+        ),
+        headers=[
+            "txn_fraction",
+            "txn_keys",
+            "throughput",
+            "txns_committed",
+            "txns_aborted",
+            "abort_rate",
+            "p99_us",
+        ],
+        notes=(
+            f"{txn_cross_shard:.0%} of generated transactions span shards; "
+            "no-wait locks at per-shard lock masters; aborts are lock "
+            "conflicts"
+        ),
+    )
+    base = ExperimentSpec(
+        protocol=protocol,
+        write_ratio=write_ratio,
+        zipfian_exponent=zipfian_exponent,
+        shards=shards,
+        txn_cross_shard=txn_cross_shard,
+        label="txngrid",
+    ).with_scale(scale)
+    cells = []
+    for fraction in txn_fractions:
+        for keys in txn_keys_points:
+            cells.append(
+                (
+                    (fraction, keys),
+                    replace(base, txn_fraction=fraction, txn_keys=keys),
+                )
+            )
+    runs = run_cells(cells, root_seed=seed, jobs=jobs)
+    for key, _spec in cells:
+        run = runs[key]
+        fraction, keys = key
+        committed = run.cluster_stats["txns_committed"]
+        aborted = run.cluster_stats["txns_aborted"]
+        finished = committed + aborted
+        abort_rate = aborted / finished if finished else 0.0
+        result.data[key] = {
+            "throughput": run.throughput,
+            "txns_committed": committed,
+            "txns_aborted": aborted,
+            "txns_cross_shard": run.cluster_stats["txns_cross_shard"],
+            "abort_rate": abort_rate,
+            "p99_us": run.overall_latency.p99_us,
+        }
+        result.rows.append(
+            [
+                f"{fraction:.2f}",
+                keys,
                 f"{run.throughput:,.0f}",
                 committed,
                 aborted,

@@ -109,39 +109,48 @@ BENCHES: List[Tuple[str, Callable[[int], Tuple[int, float]]]] = [
 
 def check_floor(
     rates: Dict[str, float], floor_path: str, warn_pct: float
-) -> List[str]:
+) -> Tuple[List[str], List[str]]:
     """Compare measured rates against a recorded floor file (soft gate).
 
-    The floor file maps workload names to reference events(or ops)/sec. A
-    warning is produced for every workload measuring more than ``warn_pct``
-    percent below its floor. Never raises on drift — this is an advisory
-    gate (CI machines vary widely); missing floor entries are ignored.
+    The floor file maps workload names to reference events(or ops)/sec.
+    Returns ``(warnings, deltas)``: one warning per workload measuring more
+    than ``warn_pct`` percent below its floor, plus one delta line per
+    workload with a floor entry — signed percent vs the reference, in both
+    directions, so above-floor improvements are reported rather than
+    silently passing. Never raises on drift — this is an advisory gate (CI
+    machines vary widely); missing floor entries are ignored.
     """
     with open(floor_path, "r", encoding="utf-8") as handle:
         floor = json.load(handle)
     warnings: List[str] = []
+    deltas: List[str] = []
     for name, rate in rates.items():
         reference = floor.get(name)
         if not isinstance(reference, (int, float)) or reference <= 0:
             continue
+        delta_pct = 100.0 * (rate / reference - 1.0)
+        deltas.append(f"{name} {delta_pct:+.0f}%")
         threshold = reference * (1.0 - warn_pct / 100.0)
         if rate < threshold:
             warnings.append(
                 f"{name}: {rate:,.0f}/sec is {100 * (1 - rate / reference):.0f}% below "
                 f"the recorded floor {reference:,.0f}/sec (warn threshold {warn_pct:.0f}%)"
             )
-    return warnings
+    return warnings, deltas
 
 
-def _emit_warnings(warnings: List[str], floor_path: str) -> None:
+def _emit_report(warnings: List[str], deltas: List[str], floor_path: str) -> None:
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
-    lines = [f"### Microbench soft perf gate ({floor_path})"]
+    delta_line = (
+        "delta vs floor: " + ", ".join(deltas) if deltas else "delta vs floor: (no entries)"
+    )
+    lines = [f"### Microbench soft perf gate ({floor_path})", f"- {delta_line}"]
     if warnings:
         lines += [f"- :warning: {w}" for w in warnings]
     else:
         lines.append("- all workloads within tolerance of the recorded floor")
     for line in lines[1:]:
-        print(line.replace(":warning:", "WARNING"))
+        print(line.replace(":warning: ", "WARNING ").lstrip("- "))
     if summary_path:
         with open(summary_path, "a", encoding="utf-8") as handle:
             handle.write("\n".join(lines) + "\n")
@@ -188,7 +197,8 @@ def main(argv: List[str] | None = None) -> None:
         print(f"{'experiment':<16} {ops:>10,} {best:>9.4f} {ops / best:>14,.0f}  (ops/sec)")
 
     if args.floor_file:
-        _emit_warnings(check_floor(rates, args.floor_file, args.warn_pct), args.floor_file)
+        warnings, deltas = check_floor(rates, args.floor_file, args.warn_pct)
+        _emit_report(warnings, deltas, args.floor_file)
 
 
 if __name__ == "__main__":

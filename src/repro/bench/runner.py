@@ -561,6 +561,7 @@ def _figure_functions() -> Dict[str, List[Callable[..., Any]]]:
         "shardscale": [gridded(exp.figure_shard_scale)],
         "shardskew": [gridded(exp.figure_shard_scale_skew)],
         "txn": [gridded(exp.figure_txn)],
+        "txngrid": [gridded(exp.figure_txn_grid)],
     }
 
 

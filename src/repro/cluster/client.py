@@ -105,7 +105,14 @@ class ClientSession:
         self._lat_random = random.Random(
             (workload.seed * 1_000_003 + (client_id + 1) * 0x9E3779B1) & 0x7FFFFFFF
         ).random
+        # Hot-path binds: one bound-method/attribute lookup per operation
+        # each, amortized to a single allocation here (none of the bound
+        # containers are ever reassigned).
+        self._record_cb = self._record
+        self._next_op = workload.next_operation
         self.results: List[OperationResult] = []
+        self._results_append = self.results.append
+        self._inflight_pop = self._inflight.pop
         self.issued = 0
         self.completed = 0
         self.aborted = 0
@@ -253,14 +260,14 @@ class ClientSession:
         # keyed by op id in ``_inflight``: one dict store+pop per operation
         # replaces the functools.partial allocation each completion
         # callback used to cost.
-        start, response_lat, epoch = self._inflight.pop(op.op_id)
+        start, response_lat, epoch = self._inflight_pop(op.op_id)
         end = self._sim._now + response_lat
         if self.history is not None:
             self.history.respond(op, end, status, value)
         self.completed += 1
         if status is OpStatus.ABORTED:
             self.aborted += 1
-        self.results.append(
+        self._results_append(
             OperationResult(
                 op=op,
                 status=status,
@@ -375,19 +382,29 @@ class ClosedLoopClient(ClientSession):
         if self.history is not None:
             sim.schedule_at(issue_time, self._issue_next)
             return
-        op = self.workload.next_operation(self.client_id)
+        op = self._next_op(self.client_id)
         if op.__class__ is Transaction:
             self._issue_txn(op, issue_time)
             return
         self.issued += 1
-        request_lat, next_response_lat = self._draw_latencies()
-        replica = self._replica_for(op)
+        # Inlined _draw_latencies (two jitter draws per op, same RNG order)
+        # and _replica_for: this chain runs once per closed-loop operation.
+        base = self.request_latency
+        if base > 0:
+            rnd = self._lat_random
+            request_lat = base * (1.0 + (rnd() * 2.0 - 1.0) * CLIENT_LATENCY_JITTER)
+            next_response_lat = base * (1.0 + (rnd() * 2.0 - 1.0) * CLIENT_LATENCY_JITTER)
+        else:
+            request_lat = next_response_lat = 0.0
+        replica = self._replica
+        if replica is None:
+            replica = self._shard_replicas[self._shard_of(op.key)]
         if replica.crashed:
             self._stalled = True
             return  # dropped at the node; see _issue
         if request_lat > 0 or issue_time > sim._now:
             self._inflight[op.op_id] = (issue_time, next_response_lat, self._epoch)
-            replica.submit_at(issue_time + request_lat, op, self._record)
+            replica.submit_at(issue_time + request_lat, op, self._record_cb)
         else:
             self._submit(op, issue_time)
 

@@ -333,6 +333,10 @@ class HermesReplica(ReplicaNode):
         self._ack_set_pool.append(acks)
 
     # -------------------------------------------------------- follower side
+    def protocol_dispatch(self) -> Dict[type, Any]:
+        """Exact-class handlers for direct dispatch (skips both type switches)."""
+        return {Inv: self._on_inv, Ack: self._on_ack, Val: self._on_val}
+
     def handle_protocol_message(self, src: NodeId, message: Any) -> None:
         """Dispatch INV / ACK / VAL messages."""
         if isinstance(message, Inv):
@@ -431,20 +435,27 @@ class HermesReplica(ReplicaNode):
     # -------------------------------------------------- optimization O3 path
     def _record_observed_ack(self, key: Key, ts: Timestamp, acker: NodeId) -> None:
         """Track broadcast ACKs so followers can validate before the VAL."""
-        acks = self._observed_acks.setdefault((key, ts), set())
+        kt = (key, ts)
+        observed = self._observed_acks
+        acks = observed.get(kt)
+        if acks is None:
+            acks = observed[kt] = set()
         acks.add(acker)
-        record = self.store.try_get_record(key)
+        record = self._records_get(key)
         if record is None or record.meta is None:
             return
         meta: KeyMeta = record.meta
         if meta.timestamp != ts or meta.state is not KeyState.INVALID:
             return
         coordinator = self._vids.owner_of(ts.cid)
-        required = set(self.view.members) - {coordinator}
-        if required.issubset(acks):
-            meta.transition(KeyState.VALID)
-            self._observed_acks.pop((key, ts), None)
-            self._drain_stalled(key)
+        # required = members − {coordinator} ⊆ acks, spelled without the
+        # two set allocations the subset test used to pay per ACK.
+        for member in self.view.members:
+            if member != coordinator and member not in acks:
+                return
+        meta.transition(KeyState.VALID)
+        observed.pop(kt, None)
+        self._drain_stalled(key)
 
     # ------------------------------------------------------ stalled requests
     def _stall(self, op: Operation, callback: ClientCallback, meta: KeyMeta) -> None:

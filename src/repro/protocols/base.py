@@ -167,6 +167,40 @@ class ReplicaNode(NodeProcess):
         # role_ring() cache, invalidated the same way.
         self._ring_view: Optional[MembershipView] = None
         self._ring_cache: Tuple[NodeId, ...] = ()
+        # Per-message-class dispatch cache (direct transport only): resolved
+        # lazily from the isinstance chain on first sight of each class, so
+        # steady-state dispatch is one dict lookup instead of the chain plus
+        # the handle_protocol_message hop. Consulted only under a
+        # DirectTransport (checked per message — the cluster may swap in a
+        # Wings transport after construction), so it never goes stale.
+        self._msg_dispatch: Dict[type, Callable[[NodeId, Any], None]] = {}
+        # Flattened client-submit constants: wire sizes and the exact
+        # ServiceTimeModel.cost(size, 1.0) values for reads and updates.
+        self._read_size = self.config.key_size
+        self._update_size = self.config.key_size + self.config.value_size
+        # Fast client-submit path: host nodes on the batched delivery path
+        # push straight into their own inbox; guests must go through the
+        # rebound submit_local(_at) delegators, legacy mode through the
+        # scheduling spelling.
+        self._fast_submit = host is None and self._batched
+        self._bound_on_local_work = self.on_local_work
+        self._refresh_submit_services()
+
+    def _refresh_submit_services(self) -> None:
+        """Recompute cached per-class client-op service times.
+
+        Matches ``ServiceTimeModel.cost(size, 1.0)`` bit-for-bit (the
+        ``* 1.0`` weight factor is an exact float identity).
+        """
+        per_byte = self._sm_per_byte
+        workers = self._sm_workers
+        self._svc_read = (self._sm_base + self._read_size * per_byte) / workers
+        self._svc_update = (self._sm_base + self._update_size * per_byte) / workers
+
+    def set_cpu_scale(self, factor: float) -> None:
+        """Scale CPU costs (gray fault); refreshes the submit-service cache."""
+        super().set_cpu_scale(factor)
+        self._refresh_submit_services()
 
     # --------------------------------------------------------------- clocks
     def local_time(self) -> float:
@@ -192,9 +226,17 @@ class ReplicaNode(NodeProcess):
         The operation is queued behind the node's CPU like any other work;
         the callback fires when the protocol completes the operation.
         """
-        size = self.config.key_size
-        if op.op_type is not OpType.READ:
-            size += self.config.value_size
+        if self._fast_submit:
+            # Fused submit → inbox push: skips the submit_local hop and the
+            # per-call service-cost arithmetic (cached per op class).
+            if self._crashed:
+                return
+            service = self._svc_read if op.op_type is OpType.READ else self._svc_update
+            self._push_local(
+                self.sim._now, service, self._bound_on_local_work, ((op, callback),)
+            )
+            return
+        size = self._read_size if op.op_type is OpType.READ else self._update_size
         self.submit_local((op, callback), size_bytes=size)
 
     def submit_at(self, time: float, op: Operation, callback: ClientCallback) -> None:
@@ -203,9 +245,13 @@ class ReplicaNode(NodeProcess):
         Used by client sessions to model their request latency without one
         simulator event per hand-off (see ``NodeProcess.submit_local_at``).
         """
-        size = self.config.key_size
-        if op.op_type is not OpType.READ:
-            size += self.config.value_size
+        if self._fast_submit:
+            if self._crashed:
+                return
+            service = self._svc_read if op.op_type is OpType.READ else self._svc_update
+            self._push_local(time, service, self._bound_on_local_work, ((op, callback),))
+            return
+        size = self._read_size if op.op_type is OpType.READ else self._update_size
         self.submit_local_at(time, (op, callback), size_bytes=size)
 
     # -------------------------------------------------- NodeProcess plumbing
@@ -219,7 +265,13 @@ class ReplicaNode(NodeProcess):
             handle_txn_work(self, work)
             return
         op, callback = work
-        if not self.is_operational():
+        # Inlined is_operational(): the crashed property's host indirection
+        # and the wrapper call cost once per client operation.
+        host = self._host
+        if (
+            (self._crashed if host is None else host._crashed)
+            or not self.membership_agent.is_operational()
+        ):
             self.complete(op, callback, OpStatus.UNAVAILABLE)
             return
         participant = self._txn_participant
@@ -244,14 +296,14 @@ class ReplicaNode(NodeProcess):
         transport = self.transport
         if type(transport) is DirectTransport:
             # Fast path: unbatched transports pass messages through verbatim
-            # and flush is a no-op, so skip the unpack list allocation.
-            if isinstance(message, MembershipMessage):
-                self.membership_agent.handle(src, message)
-                self.view = self.membership_agent.view
-            elif isinstance(message, TxnMessage):
-                self._handle_txn_message(message)
+            # and flush is a no-op. Dispatch by exact message class through
+            # the per-class cache; unseen classes resolve through the
+            # isinstance chain once (see _dispatch_resolve).
+            handler = self._msg_dispatch.get(message.__class__)
+            if handler is not None:
+                handler(src, message)
             else:
-                self.handle_protocol_message(src, message)
+                self._dispatch_resolve(src, message)
             return
         for inner, _size in transport.unpack(src, message):
             if isinstance(inner, MembershipMessage):
@@ -262,6 +314,42 @@ class ReplicaNode(NodeProcess):
             else:
                 self.handle_protocol_message(src, inner)
         transport.flush()
+
+    def _dispatch_resolve(self, src: NodeId, message: Any) -> None:
+        """Resolve and cache the direct-dispatch handler for a message class.
+
+        Protocol subclasses publish exact-class handlers through
+        :meth:`protocol_dispatch`; anything unlisted falls back to
+        :meth:`handle_protocol_message` (which ignores unknown types).
+        """
+        if isinstance(message, MembershipMessage):
+            handler = self._on_membership_message
+        elif isinstance(message, TxnMessage):
+            handler = self._on_txn_message
+        else:
+            handler = self.protocol_dispatch().get(
+                message.__class__, self.handle_protocol_message
+            )
+        self._msg_dispatch[message.__class__] = handler
+        handler(src, message)
+
+    def protocol_dispatch(self) -> Dict[type, Callable[[NodeId, Any], None]]:
+        """Exact-class handler table for direct dispatch (subclass hook).
+
+        Entries let the hot path skip both the ``on_message`` isinstance
+        chain and the ``handle_protocol_message`` type switch. Handlers are
+        invoked on a delivery frame (possibly a chained one) exactly like
+        ``handle_protocol_message`` — sends go through the transport, never
+        ``Simulator.schedule`` directly (lint rule A001).
+        """
+        return {}
+
+    def _on_membership_message(self, src: NodeId, message: Any) -> None:
+        self.membership_agent.handle(src, message)
+        self.view = self.membership_agent.view
+
+    def _on_txn_message(self, src: NodeId, message: Any) -> None:
+        self._handle_txn_message(message)
 
     def _handle_txn_message(self, message: TxnMessage) -> None:
         """Route a transaction-layer message (see :mod:`repro.cluster.txn`)."""

@@ -173,6 +173,16 @@ class ChainReplicationReplica(ReplicaNode):
         )
 
     # ------------------------------------------------------ protocol messages
+    def protocol_dispatch(self) -> Dict[type, Any]:
+        """Exact-class handlers for direct dispatch (skips the type switch)."""
+        return {
+            CrWriteRequest: self._dispatch_write_request,
+            CrWriteDown: self._dispatch_write_down,
+            CrWriteReply: self._dispatch_reply,
+            CrReadRequest: self._dispatch_read_request,
+            CrReadReply: self._dispatch_reply,
+        }
+
     def handle_protocol_message(self, src: NodeId, message: Any) -> None:
         """Dispatch chain traffic."""
         if isinstance(message, CrWriteRequest):
@@ -186,6 +196,20 @@ class ChainReplicationReplica(ReplicaNode):
             self._on_read_request(message)
         elif isinstance(message, CrReadReply):
             self._complete_pending(message.op_id, message.value)
+
+    # Uniform (src, message) adapters for the dispatch table.
+    def _dispatch_write_request(self, src: NodeId, message: CrWriteRequest) -> None:
+        if self.is_head:
+            self._head_accept(message.key, message.value, message.origin, message.op_id)
+
+    def _dispatch_write_down(self, src: NodeId, message: CrWriteDown) -> None:
+        self._on_write_down(message)
+
+    def _dispatch_reply(self, src: NodeId, message: Any) -> None:
+        self._complete_pending(message.op_id, message.value)
+
+    def _dispatch_read_request(self, src: NodeId, message: CrReadRequest) -> None:
+        self._on_read_request(message)
 
     # --------------------------------------------------------------- internals
     def _head_accept(self, key: Key, value: Value, origin: NodeId, op_id: int) -> None:

@@ -248,6 +248,17 @@ class CraqReplica(ReplicaNode):
         self.transport.send(self.head, request, request.size_bytes + self.update_size_bytes(op.value))
 
     # ------------------------------------------------------ protocol messages
+    def protocol_dispatch(self) -> Dict[type, Any]:
+        """Exact-class handlers for direct dispatch (skips the type switch)."""
+        return {
+            WriteRequest: self._dispatch_write_request,
+            WriteDown: self._dispatch_write_down,
+            AckUp: self._dispatch_ack_up,
+            WriteReply: self._dispatch_write_reply,
+            VersionQuery: self._dispatch_version_query,
+            VersionReply: self._dispatch_version_reply,
+        }
+
     def handle_protocol_message(self, src: NodeId, message: Any) -> None:
         """Dispatch CRAQ chain traffic."""
         if isinstance(message, WriteRequest):
@@ -262,6 +273,25 @@ class CraqReplica(ReplicaNode):
             self._on_version_query(message)
         elif isinstance(message, VersionReply):
             self._on_version_reply(message)
+
+    # Uniform (src, message) adapters for the dispatch table.
+    def _dispatch_write_request(self, src: NodeId, message: "WriteRequest") -> None:
+        self._head_accept_write(message.key, message.value, message.origin, message.op_id)
+
+    def _dispatch_write_down(self, src: NodeId, message: "WriteDown") -> None:
+        self._on_write_down(message)
+
+    def _dispatch_ack_up(self, src: NodeId, message: "AckUp") -> None:
+        self._on_ack_up(message)
+
+    def _dispatch_write_reply(self, src: NodeId, message: "WriteReply") -> None:
+        self._on_write_reply(message)
+
+    def _dispatch_version_query(self, src: NodeId, message: "VersionQuery") -> None:
+        self._on_version_query(message)
+
+    def _dispatch_version_reply(self, src: NodeId, message: "VersionReply") -> None:
+        self._on_version_reply(message)
 
     # -------------------------------------------------------------- head side
     def _head_accept_write(self, key: Key, value: Value, origin: NodeId, op_id: int) -> None:

@@ -155,6 +155,15 @@ class DerechoReplica(ReplicaNode):
         )
 
     # ------------------------------------------------------ protocol messages
+    def protocol_dispatch(self) -> Dict[type, Any]:
+        """Exact-class handlers for direct dispatch (skips the type switch)."""
+        return {
+            SubmitUpdate: self._dispatch_submit_update,
+            OrderedRound: self._dispatch_round,
+            RoundReceived: self._on_round_received,
+            RoundDeliver: self._dispatch_round_deliver,
+        }
+
     def handle_protocol_message(self, src: NodeId, message: Any) -> None:
         """Dispatch total-order traffic."""
         if isinstance(message, SubmitUpdate):
@@ -166,6 +175,17 @@ class DerechoReplica(ReplicaNode):
             self._on_round_received(src, message)
         elif isinstance(message, RoundDeliver):
             self._on_round_deliver(message.round_id)
+
+    # Uniform (src, message) adapters for the dispatch table.
+    def _dispatch_submit_update(self, src: NodeId, message: "SubmitUpdate") -> None:
+        if self.is_sequencer:
+            self._enqueue_update(message.key, message.value, message.origin, message.op_id)
+
+    def _dispatch_round(self, src: NodeId, message: "OrderedRound") -> None:
+        self._on_round(message)
+
+    def _dispatch_round_deliver(self, src: NodeId, message: "RoundDeliver") -> None:
+        self._on_round_deliver(message.round_id)
 
     # --------------------------------------------------------- sequencer side
     def _enqueue_update(self, key: Key, value: Value, origin: NodeId, op_id: int) -> None:

@@ -154,6 +154,15 @@ class ZabReplica(ReplicaNode):
         )
 
     # ------------------------------------------------------ protocol messages
+    def protocol_dispatch(self) -> Dict[type, Any]:
+        """Exact-class handlers for direct dispatch (skips the type switch)."""
+        return {
+            ForwardWrite: self._dispatch_forward_write,
+            Proposal: self._dispatch_proposal,
+            ProposalAck: self._on_proposal_ack,
+            Commit: self._dispatch_commit,
+        }
+
     def handle_protocol_message(self, src: NodeId, message: Any) -> None:
         """Dispatch ZAB traffic."""
         if isinstance(message, ForwardWrite):
@@ -165,6 +174,17 @@ class ZabReplica(ReplicaNode):
             self._on_proposal_ack(src, message)
         elif isinstance(message, Commit):
             self._on_commit(message.zxid)
+
+    # Uniform (src, message) adapters for the dispatch table.
+    def _dispatch_forward_write(self, src: NodeId, message: "ForwardWrite") -> None:
+        if self.is_leader:
+            self._propose(message.key, message.value, message.origin, message.op_id)
+
+    def _dispatch_proposal(self, src: NodeId, message: "Proposal") -> None:
+        self._on_proposal(message)
+
+    def _dispatch_commit(self, src: NodeId, message: "Commit") -> None:
+        self._on_commit(message.zxid)
 
     # ------------------------------------------------------------ leader side
     def _serialization_weight(self) -> float:

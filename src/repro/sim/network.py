@@ -59,6 +59,17 @@ def _default_batch_delivery() -> bool:
     return not os.environ.get("REPRO_SIM_UNBATCHED")
 
 
+def _default_chain_delivery() -> bool:
+    """Same-node event chaining is on unless ``REPRO_SIM_UNCHAINED`` is set.
+
+    Mirrors ``REPRO_SIM_UNBATCHED``: the legacy (unchained) schedule can be
+    forced for determinism bisection without touching experiment specs.
+    Chaining rides the batched inbox path, so ``REPRO_SIM_UNBATCHED``
+    implies unchained delivery as well.
+    """
+    return not os.environ.get("REPRO_SIM_UNCHAINED")
+
+
 @dataclass
 class NetworkConfig:
     """Configuration of the network fabric.
@@ -81,6 +92,10 @@ class NetworkConfig:
         batch_delivery: Whether nodes that support it receive arrivals through
             the batched inbox path (see module docstring). Defaults to on,
             overridable globally with ``REPRO_SIM_UNBATCHED=1``.
+        chain_delivery: Whether nodes may execute provably-next inbox frames
+            inline (same-node event chaining, see :mod:`repro.sim.node`).
+            Defaults to on, overridable globally with
+            ``REPRO_SIM_UNCHAINED=1``; requires ``batch_delivery``.
     """
 
     base_latency: float = 2e-6
@@ -92,6 +107,7 @@ class NetworkConfig:
     reorder_extra_latency: float = 20e-6
     header_bytes: int = DEFAULT_HEADER_BYTES
     batch_delivery: bool = field(default_factory=_default_batch_delivery)
+    chain_delivery: bool = field(default_factory=_default_chain_delivery)
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` for invalid settings."""
@@ -502,17 +518,22 @@ class Network:
         reorder_rate = cfg.reorder_rate
         jitter = cfg.jitter
         base = cfg.base_latency + total_bytes * cfg.per_byte_latency
-        now = self.sim._now
+        sim = self.sim
+        now = sim._now
         inbox_get = self._inbox_procs.get
         link_faults = self._link_faults
+        # messages_sent/bytes_sent are charged per destination regardless of
+        # drops, so they fold into one bulk update after the loop.
+        sent = 0
         for dst in destinations:
             proc = inbox_get(dst)
             if proc is None and dst not in self._receivers:
+                stats.messages_sent += sent
+                stats.bytes_sent += sent * total_bytes
                 raise SimulationError(
                     f"destination node {dst} is not registered on the network"
                 )
-            stats.messages_sent += 1
-            stats.bytes_sent += total_bytes
+            sent += 1
             if crashed_src:
                 stats.messages_dropped_crashed += 1
                 continue
@@ -548,12 +569,11 @@ class Network:
             if link_fault is not None:
                 latency *= link_fault.latency_factor
             if proc is not None:
-                sim = self.sim
                 seq = sim._seq
                 sim._seq = seq + 1
                 proc._push_arrival(now + latency, seq, src, message, total_bytes)
             else:
-                self.sim.schedule(latency, self._deliver, src, dst, message, total_bytes)
+                sim.schedule(latency, self._deliver, src, dst, message, total_bytes)
             if duplicate_rate > 0.0 and self._next_random() < duplicate_rate:
                 stats.messages_duplicated += 1
                 self._schedule_delivery(
@@ -579,6 +599,8 @@ class Network:
                     link_fault.latency_factor,
                     link_fault.duplicate_delay * self._next_random(),
                 )
+        stats.messages_sent += sent
+        stats.bytes_sent += sent * total_bytes
 
     # -------------------------------------------------------------- internal
     def _schedule_delivery(

@@ -125,6 +125,14 @@ _ARRIVAL, _SEQ, _SERVICE, _IS_NET, _HANDLER, _HARGS = range(6)
 #: Prune the fired-timer tracking set once it exceeds this size.
 _TIMER_PRUNE_THRESHOLD = 256
 
+#: Maximum number of inbox frames one engine event may execute inline
+#: through same-node chaining before the node re-enters through a real
+#: scheduled head event (the deterministic re-entry point). The bound keeps
+#: a single engine callback from monopolizing the interpreter on a deeply
+#: backlogged node; re-entry is byte-identical because the scheduled head
+#: event is, by the chain rule, the next event the engine pops anyway.
+_CHAIN_DEPTH_LIMIT = 64
+
 
 @dataclass
 class ServiceTimeModel:
@@ -216,6 +224,16 @@ class NodeProcess:
         self._sm_workers = model.worker_threads
         # Batched-path state (see module docstring).
         self._batched: bool = bool(network.config.batch_delivery)
+        # Same-node chaining budget: frames one engine event may run inline
+        # (0 disables chaining — legacy schedule, REPRO_SIM_UNCHAINED).
+        self._chain_budget: int = (
+            _CHAIN_DEPTH_LIMIT
+            if self._batched and network.config.chain_delivery
+            else 0
+        )
+        # One-entry pool: the inbox entry consumed by the last processed
+        # frame, recycled by the next push instead of allocating afresh.
+        self._spare_entry: Optional[list] = None
         self._inbox: List[list] = []
         # The outstanding head event is identified by a version token: any
         # event carrying a stale version is ignored when it fires, which
@@ -236,6 +254,9 @@ class NodeProcess:
         # Hot-path method bind (the network is fixed for the node's
         # lifetime): saves two attribute lookups per message.
         self._network_send = network.send
+        # Stats object bind for the delivery loop (never reassigned on the
+        # network).
+        self._net_stats = network.stats
         if host is None:
             network.register_process(self)
         else:
@@ -360,9 +381,7 @@ class NodeProcess:
             return
         if self._batched:
             service = self.service_model.cost(size_bytes, 1.0)
-            self._push_entry(
-                [self.sim.now, self._alloc_seq(), service, 0, self.on_message, (src, message)]
-            )
+            self._push_local(self.sim._now, service, self.on_message, (src, message))
         else:
             san = self._sanitizer
             if san is not None:
@@ -377,9 +396,7 @@ class NodeProcess:
             return
         if self._batched:
             service = self.service_model.cost(size_bytes, weight)
-            self._push_entry(
-                [self.sim.now, self._alloc_seq(), service, 0, self.on_local_work, (work,)]
-            )
+            self._push_local(self.sim._now, service, self.on_local_work, (work,))
         else:
             self._enqueue(size_bytes, weight, self.on_local_work, work)
 
@@ -399,7 +416,7 @@ class NodeProcess:
             return
         if self._batched:
             service = self.service_model.cost(size_bytes, weight)
-            self._push_entry([time, self._alloc_seq(), service, 0, self.on_local_work, (work,)])
+            self._push_local(time, service, self.on_local_work, (work,))
         else:
             self.sim.schedule_at(time, self.submit_local, work, size_bytes, weight)
 
@@ -558,18 +575,32 @@ class NodeProcess:
     def _push_arrival(self, arrival: float, seq: int, src: NodeId, message: Any, total_bytes: int) -> None:
         """Network entry point on the batched path (called at send time).
 
-        Inlined spelling of :meth:`_push_entry` — this runs once per network
-        message; ``seq`` is the engine sequence number the network allocated
+        Same push discipline as :meth:`_push_local` — this runs once per
+        network message; ``seq`` is the engine sequence number the network allocated
         for this delivery (see :meth:`_alloc_seq`). Service arithmetic
         matches ``ServiceTimeModel.cost`` with ``weight=1.0`` exactly.
         """
         service = (self._sm_base + total_bytes * self._sm_per_byte) / self._sm_workers
-        entry = [arrival, seq, service, 1, self.on_message, (src, message)]
         san = self._sanitizer
-        if san is not None:
+        if san is None:
+            entry = self._spare_entry
+            if entry is None:
+                entry = [arrival, seq, service, 1, self.on_message, (src, message)]
+            else:
+                # Recycled from the last processed frame (see _process_head).
+                self._spare_entry = None
+                entry[0] = arrival
+                entry[1] = seq
+                entry[2] = service
+                entry[3] = 1
+                entry[4] = self.on_message
+                entry[5] = (src, message)
+        else:
             # Extra slot beyond _HARGS: heap comparisons never reach it
-            # (the entry seq in slot 1 is unique).
-            entry.append(san.fingerprint(entry[_HARGS]))
+            # (the entry seq in slot 1 is unique). Sanitized entries are
+            # 7 slots long and never pooled.
+            args = (src, message)
+            entry = [arrival, seq, service, 1, self.on_message, args, san.fingerprint(args)]
         inbox = self._inbox
         heappush(inbox, entry)
         if self._crashed:
@@ -583,10 +614,31 @@ class NodeProcess:
                 # event's version token goes stale).
                 self._schedule_head()
 
-    def _push_entry(self, entry: list) -> None:
+    def _push_local(self, arrival: float, service: float, handler, args: tuple) -> None:
+        """Push a local (non-network) entry, recycling the pooled entry list.
+
+        Local hand-offs (client submits, the closed loop's collapsed
+        completion chain) are the dominant chained push, so they share the
+        one-entry pool with :meth:`_push_arrival`.
+        """
+        sim = self.sim
+        seq = sim._seq
+        sim._seq = seq + 1
         san = self._sanitizer
-        if san is not None:
-            entry.append(san.fingerprint(entry[_HARGS]))
+        if san is None:
+            entry = self._spare_entry
+            if entry is None:
+                entry = [arrival, seq, service, 0, handler, args]
+            else:
+                self._spare_entry = None
+                entry[0] = arrival
+                entry[1] = seq
+                entry[2] = service
+                entry[3] = 0
+                entry[4] = handler
+                entry[5] = args
+        else:
+            entry = [arrival, seq, service, 0, handler, args, san.fingerprint(args)]
         heappush(self._inbox, entry)
         if self._crashed:
             self._ensure_drop_chain()
@@ -637,56 +689,120 @@ class NodeProcess:
         )
 
     def _process_head(self, version: int) -> None:
+        """Run the head frame, then chain provably-next frames inline.
+
+        Same-node event chaining: after a frame's handler returns, the next
+        inbox entry's finish event ``(finish, seq)`` is compared against the
+        engine's heap top. When it sorts **before every pending engine
+        event** (and stays within the active run bound), the engine loop
+        would pop exactly that event next — so the frame executes inline
+        under a time warp (``sim._now`` advanced to the finish time,
+        ``events_executed`` counted) without a heap round-trip. Any other
+        outcome — an interleaving event on another node, a timer between
+        frames, ``stop()``, a crash, or an exhausted chain budget — falls
+        back to scheduling the head event, the deterministic re-entry
+        point. The executed schedule is byte-identical to the unchained
+        one by construction (``REPRO_SIM_UNCHAINED=1`` forces the latter).
+        """
         if version != self._head_version:
             # Stale event: superseded by a preemption, a charge-triggered
             # reschedule, or a crash.
             return
         self._head_scheduled = False
-        entry = heappop(self._inbox)
-        arrival = entry[_ARRIVAL]
-        # Commit the lazily evaluated CPU timeline: charges at or before
-        # this arrival are absorbed into the finish time (== now).
+        sim = self.sim
+        inbox = self._inbox
         charges = self._pending_charges
-        if charges:
-            while charges and charges[0][0] <= arrival:
-                charges.popleft()
-        self._cpu_free_at = self.sim._now
-        if entry[_IS_NET]:
-            self.network.stats.messages_delivered += 1
-        self.messages_processed += 1
-        self._processing = True
         san = self._sanitizer
-        if san is not None:
-            # Fingerprint captured at enqueue rides in the entry's 7th slot.
-            san.verify(entry[_HARGS], entry[6], self.node_id)
-            san.begin_delivery(self)
-        try:
-            entry[_HANDLER](*entry[_HARGS])
-        finally:
-            if san is not None:
-                san.end_delivery()
-            self._processing = False
-            inbox = self._inbox
-            if inbox and not self._crashed and not self._head_scheduled:
-                # Inlined _schedule_head (one call per processed message).
-                entry = inbox[0]
-                arrival = entry[_ARRIVAL]
-                free = self._cpu_free_at
-                if charges:
-                    for charge_time, cost in charges:
-                        if charge_time > arrival:
-                            break
-                        if free < charge_time:
-                            free = charge_time
-                        free += cost
-                start = arrival if arrival > free else free
-                version = self._head_version + 1
-                self._head_version = version
-                self._head_scheduled = True
-                heappush(
-                    self.sim._heap,
-                    [start + entry[_SERVICE], entry[_SEQ], self._process_head, (version,), False],
-                )
+        net_stats = self._net_stats
+        # Chain bound, hoisted: ``_active_until`` is fixed for the duration
+        # of the engine's run() call we are inside of; ``None`` disables
+        # chaining (budget 0, no active run, or a max_events loop). The
+        # budget is folded in by flipping ``until`` to None on exhaustion.
+        until = sim._active_until if self._chain_budget else None
+        budget = self._chain_budget
+        while True:
+            entry = heappop(inbox)
+            arrival = entry[_ARRIVAL]
+            # Commit the lazily evaluated CPU timeline: charges at or before
+            # this arrival are absorbed into the finish time (== now).
+            if charges:
+                while charges and charges[0][0] <= arrival:
+                    charges.popleft()
+            self._cpu_free_at = sim._now
+            if entry[_IS_NET]:
+                net_stats.messages_delivered += 1
+            self.messages_processed += 1
+            self._processing = True
+            if san is None:
+                try:
+                    entry[_HANDLER](*entry[_HARGS])
+                finally:
+                    self._processing = False
+                # Recycle the consumed entry for the next push (chained
+                # local deliveries would otherwise allocate one per hop).
+                entry[_HARGS] = ()
+                self._spare_entry = entry
+            else:
+                # Chained frames are fingerprint-checked exactly like
+                # scheduled ones (the capture rides in the 7th slot).
+                san.verify(entry[_HARGS], entry[6], self.node_id)
+                san.begin_delivery(self)
+                try:
+                    entry[_HANDLER](*entry[_HARGS])
+                finally:
+                    san.end_delivery()
+                    self._processing = False
+            inbox = self._inbox  # crash()-in-handler replaces the list
+            if not inbox or self._crashed or self._head_scheduled:
+                # Crash mid-chain: queued frames were already discarded (or
+                # moved to the drop chain) by crash(); nothing to re-arm.
+                return
+            nxt = inbox[0]
+            arrival = nxt[_ARRIVAL]
+            free = self._cpu_free_at
+            if charges:
+                for charge_time, cost in charges:
+                    if charge_time > arrival:
+                        break
+                    if free < charge_time:
+                        free = charge_time
+                    free += cost
+            finish = (arrival if arrival > free else free) + nxt[_SERVICE]
+            if until is not None and finish <= until:
+                chain = False
+                heap = sim._heap
+                while heap:
+                    top = heap[0]
+                    if top[2] is None:
+                        # Lazily-cancelled engine entry: the loop would
+                        # discard it before reaching our event.
+                        heappop(heap)
+                        sim._cancelled_pending -= 1
+                        continue
+                    top_time = top[0]
+                    chain = finish < top_time or (
+                        finish == top_time and nxt[_SEQ] < top[1]
+                    )
+                    break
+                else:
+                    chain = True
+                # stop() requested mid-chain wins over chaining (checked
+                # last: it is almost never set on the hot path).
+                if chain and not sim._stopped:
+                    budget -= 1
+                    if not budget:
+                        until = None
+                    sim._now = finish
+                    sim._events_executed += 1
+                    continue
+            version = self._head_version + 1
+            self._head_version = version
+            self._head_scheduled = True
+            heappush(
+                sim._heap,
+                [finish, nxt[_SEQ], self._process_head, (version,), False],
+            )
+            return
 
     def _ensure_drop_chain(self) -> None:
         """While crashed, drop in-flight arrivals at their arrival times."""

@@ -63,7 +63,7 @@ def next_op_id() -> int:
     return next(_op_id_counter)
 
 
-@dataclass
+@dataclass(slots=True)
 class Operation:
     """A client operation submitted to the replicated datastore.
 

@@ -1,0 +1,24 @@
+"""A001 fixture: handler class re-enters the engine / raw network directly.
+
+Handler methods of a protocol class run on possibly-chained frames (the
+node may time-warp the virtual clock between inbox entries), so they must
+send via ``self.transport`` and arm timers via ``set_timer`` — the hooks
+that assign tie-breaking seqs and wire costs at send time.
+"""
+
+
+class BrokenReplica:
+    def protocol_dispatch(self):
+        return {}
+
+    def handle_protocol_message(self, src, message):
+        self.sim.schedule(1e-6, self._retry, src)  # expect: A001
+        self.sim.call_soon(self._retry, src)  # expect: A001
+        self.network.send(src, message, 16)  # expect: A001
+        self.network.broadcast(self.peers(), message, 16)  # expect: A001
+
+    def _retry(self, src):
+        pass
+
+    def peers(self):
+        return ()

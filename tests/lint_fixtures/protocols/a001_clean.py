@@ -1,0 +1,18 @@
+"""A001 clean twin: sends via the transport, timers via ``set_timer``.
+
+Both hooks are chained-frame safe: the transport allocates seqs and wire
+costs at send time and ``set_timer`` schedules through the node, so the
+chained and unchained schedules stay byte-identical.
+"""
+
+
+class CleanReplica:
+    def protocol_dispatch(self):
+        return {}
+
+    def handle_protocol_message(self, src, message):
+        self.transport.send(src, message, 16)
+        self.set_timer(1e-6, self._retry, src)
+
+    def _retry(self, src):
+        pass

@@ -1,0 +1,254 @@
+"""Equivalence and edge-case tests for same-node event chaining.
+
+After a handler finishes, the node peeks at its next inbox entry: when the
+entry's finish event would provably be the next event the global engine
+pops (it sorts before the engine heap top in ``(time, seq)`` order), the
+node executes it inline under a time warp — advancing the virtual clock
+and the CPU timeline without re-enqueuing a head event (see
+:mod:`repro.sim.node`). These tests pin the contract established for the
+batching work and extended here: **chaining is byte-identical in effect to
+the unchained schedule** (``REPRO_SIM_UNCHAINED=1``), crash and timer
+interleavings behave identically, and the runtime sanitizer observes
+chained deliveries exactly like enqueued ones.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.sanitize import reset_sanitizer
+from repro.bench.harness import ExperimentSpec, run_experiment
+from repro.bench.runner import figure_to_dict
+from repro.sim.engine import Simulator
+from repro.sim.network import Network, NetworkConfig
+from repro.sim.node import NodeProcess, ServiceTimeModel
+
+
+def _set_mode(unchained: bool, monkeypatch) -> None:
+    if unchained:
+        monkeypatch.setenv("REPRO_SIM_UNCHAINED", "1")
+    else:
+        monkeypatch.delenv("REPRO_SIM_UNCHAINED", raising=False)
+
+
+def _experiment_fingerprint(unchained: bool, monkeypatch, **spec_kwargs) -> str:
+    """Run one experiment in the requested mode and serialize its results."""
+    _set_mode(unchained, monkeypatch)
+    result = run_experiment(ExperimentSpec(**spec_kwargs))
+    return json.dumps(
+        {
+            "throughput": result.throughput,
+            "duration": result.duration,
+            "median_us": result.overall_latency.median_us,
+            "p99_us": result.overall_latency.p99_us,
+            "read_p99_us": result.read_latency.p99_us,
+            "write_p99_us": result.write_latency.p99_us,
+            "stats": result.cluster_stats,
+            "ends": [round(r.end_time, 15) for r in result.results],
+        },
+        sort_keys=True,
+    )
+
+
+# ------------------------------------------------------------ end to end
+@pytest.mark.parametrize("protocol", ["hermes", "craq", "zab", "cr", "derecho"])
+def test_chained_and_unchained_are_byte_identical(protocol, monkeypatch):
+    kwargs = dict(
+        protocol=protocol,
+        num_replicas=5,
+        write_ratio=0.2,
+        rmw_ratio=0.1 if protocol == "hermes" else 0.0,
+        num_keys=200,
+        clients_per_replica=3,
+        ops_per_client=40,
+        seed=7,
+    )
+    chained = _experiment_fingerprint(False, monkeypatch, **kwargs)
+    unchained = _experiment_fingerprint(True, monkeypatch, **kwargs)
+    assert chained == unchained
+
+
+def test_chained_matches_unchained_sharded_coupled(monkeypatch):
+    """Coupled shards co-host guests on one node — the dominant chain case."""
+    kwargs = dict(
+        protocol="hermes",
+        num_replicas=3,
+        write_ratio=0.3,
+        num_keys=120,
+        clients_per_replica=3,
+        ops_per_client=40,
+        shards=2,
+        shard_mode="coupled",
+        txn_fraction=0.2,
+        txn_keys=2,
+        txn_cross_shard=0.5,
+        seed=11,
+    )
+    assert _experiment_fingerprint(False, monkeypatch, **kwargs) == _experiment_fingerprint(
+        True, monkeypatch, **kwargs
+    )
+
+
+def test_figure9_smoke_identical_chained_vs_unchained(monkeypatch):
+    """The crash/recovery figure (membership, timers, drop chains) matches too."""
+    from repro.bench import experiments
+
+    payloads = []
+    for unchained in (False, True):
+        _set_mode(unchained, monkeypatch)
+        result = experiments.figure_9_failure(total_time=0.2)
+        payloads.append(json.dumps(figure_to_dict(result), sort_keys=True, default=str))
+    assert payloads[0] == payloads[1]
+
+
+# -------------------------------------------------------------- sanitizer
+def test_sanitizer_observes_chained_sharded_run(monkeypatch):
+    """``REPRO_SANITIZE=1`` over a chained sharded cluster stays observer-only."""
+    kwargs = dict(
+        protocol="hermes",
+        num_replicas=3,
+        write_ratio=0.3,
+        num_keys=100,
+        clients_per_replica=2,
+        ops_per_client=30,
+        shards=2,
+        shard_mode="coupled",
+        seed=13,
+    )
+    plain = _experiment_fingerprint(False, monkeypatch, **kwargs)
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    try:
+        sanitized = _experiment_fingerprint(False, monkeypatch, **kwargs)
+    finally:
+        reset_sanitizer()
+    assert sanitized == plain
+
+
+# ------------------------------------------------------------- node level
+class _Recorder(NodeProcess):
+    """Records every delivery with its (warped) virtual timestamp."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.seen = []
+        self.head_invocations = 0
+
+    def _process_head(self, version):
+        self.head_invocations += 1
+        return NodeProcess._process_head(self, version)
+
+    def on_message(self, src, message):
+        self.seen.append((message, self.sim.now))
+
+    def on_local_work(self, work):
+        self.seen.append((work, self.sim.now))
+        if work == "crasher":
+            self.crash()
+
+
+def _node(unchained: bool, monkeypatch):
+    _set_mode(unchained, monkeypatch)
+    sim = Simulator()
+    network = Network(sim, NetworkConfig(jitter=0.0))
+    service = ServiceTimeModel(base=10e-6, per_byte=0.0, send_overhead=0.0, worker_threads=1)
+    return sim, _Recorder(0, sim, network, service)
+
+
+def test_back_to_back_frames_chain_into_one_head_event(monkeypatch):
+    """Proof the optimization engages: two queued frames, one head event."""
+    sim, node = _node(False, monkeypatch)
+    node.submit_local("w1")
+    node.submit_local("w2")
+    sim.run()
+    assert node.seen == [("w1", pytest.approx(10e-6)), ("w2", pytest.approx(20e-6))]
+    assert node.head_invocations == 1
+
+
+def test_unchained_mode_schedules_one_head_event_per_frame(monkeypatch):
+    sim, node = _node(True, monkeypatch)
+    node.submit_local("w1")
+    node.submit_local("w2")
+    sim.run()
+    assert node.seen == [("w1", pytest.approx(10e-6)), ("w2", pytest.approx(20e-6))]
+    assert node.head_invocations == 2
+
+
+@pytest.mark.parametrize("unchained", [False, True])
+def test_crash_mid_chain_discards_queued_work_permanently(unchained, monkeypatch):
+    """Work queued behind a mid-chain crash never runs, even after recovery.
+
+    Mirrors the PR 2 crash semantics pinned by test_sim_batching: ``crash()``
+    replaces the inbox, so frames the chain loop had not yet reached are
+    discarded — not deferred — and recovery starts from an empty queue.
+    """
+    sim, node = _node(unchained, monkeypatch)
+    node.submit_local("w1")
+    node.submit_local("crasher")
+    node.submit_local("doomed-1")
+    node.submit_local("doomed-2")
+    sim.run()
+    assert [w for w, _ in node.seen] == ["w1", "crasher"]
+    node.recover()
+    node.submit_local("alive")
+    sim.run()
+    assert [w for w, _ in node.seen] == ["w1", "crasher", "alive"]
+
+
+@pytest.mark.parametrize("unchained", [False, True])
+def test_timer_between_warped_frames_interrupts_chain(unchained, monkeypatch):
+    """A timer due between two frames' finish times must fire between them.
+
+    The chain rule compares the next frame's finish event against the engine
+    heap top, so a timer at 15us forces re-entry through a scheduled head
+    event: w1 at 10us, timer at 15us, w2 at 20us — in both modes.
+    """
+    sim, node = _node(unchained, monkeypatch)
+    node.submit_local("w1")
+    node.submit_local("w2")
+    node.set_timer(15e-6, lambda: node.seen.append(("timer", sim.now)))
+    sim.run()
+    assert node.seen == [
+        ("w1", pytest.approx(10e-6)),
+        ("timer", pytest.approx(15e-6)),
+        ("w2", pytest.approx(20e-6)),
+    ]
+    # The timer splits the chain: the second frame needs its own head event.
+    assert node.head_invocations == 2
+
+
+def test_timer_after_chain_does_not_interrupt(monkeypatch):
+    """A timer due after both finishes leaves the chain intact."""
+    sim, node = _node(False, monkeypatch)
+    node.submit_local("w1")
+    node.submit_local("w2")
+    node.set_timer(25e-6, lambda: node.seen.append(("timer", sim.now)))
+    sim.run()
+    assert node.seen == [
+        ("w1", pytest.approx(10e-6)),
+        ("w2", pytest.approx(20e-6)),
+        ("timer", pytest.approx(25e-6)),
+    ]
+    assert node.head_invocations == 1
+
+
+@pytest.mark.parametrize("unchained", [False, True])
+def test_stop_requested_mid_chain_halts_before_next_frame(unchained, monkeypatch):
+    """``sim.stop()`` from a handler ends the run before the next frame."""
+    sim, node = _node(unchained, monkeypatch)
+
+    class _Stopper(_Recorder):
+        def on_local_work(self, work):
+            self.seen.append((work, self.sim.now))
+            if work == "stopper":
+                self.sim.stop()
+
+    node = _Stopper(1, sim, node.network, node.service_model)
+    node.submit_local("stopper")
+    node.submit_local("after-stop")
+    sim.run()
+    assert [w for w, _ in node.seen] == ["stopper"]
+    # The queued frame is not lost — resuming the run delivers it.
+    sim.run()
+    assert [w for w, _ in node.seen] == ["stopper", "after-stop"]
