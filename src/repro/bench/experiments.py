@@ -23,6 +23,7 @@ from repro.bench.harness import ExperimentResult, ExperimentSpec, Scale
 from repro.cluster.client import ClosedLoopClient
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.failures import FailureEvent, FailureInjector
+from repro.cluster.rebalance_plan import default_target, owner_at
 from repro.core.config import HermesConfig
 from repro.errors import BenchmarkError, ConfigurationError
 from repro.membership.detector import FailureDetectorConfig
@@ -1202,7 +1203,7 @@ def figure_migrate(
     if target_shard is None:
         # Default target scales with the shard count (the "opposite" shard:
         # 2 of 4 at the defaults), so --shards S just works for any S >= 2.
-        target_shard = (source_shard + shards // 2) % shards
+        target_shard = default_target(source_shard, shards)
     migration = ShardMigration(source=source_shard, target=target_shard)
     try:
         migration.validate(shards)
@@ -1266,15 +1267,10 @@ def figure_migrate(
     # target after it.
     results = [r for c in clients for r in c.results if r.ok]
     num_shards = shards
+    flips = [(record.migration, record.flip_time) for record in records]
 
     def owner_of(result) -> int:
-        key = result.op.key
-        base = key % num_shards if type(key) is int else None
-        if base is None:  # pragma: no cover - integer keys in every workload
-            base = 0
-        if migration.matches(key, num_shards):
-            return migration.target if result.end_time >= flip_time else migration.source
-        return base
+        return owner_at(result.op.key, num_shards, flips, result.end_time)
 
     # Measurement windows clear of the start-up ramp and the freeze window.
     pre_lo, pre_hi = migrate_time * 0.25, migrate_time
@@ -1334,6 +1330,215 @@ def figure_migrate(
         "linearizable": linearizable,
         "migration_check_ok": migration_check.ok,
         "post_flip_reads_checked": migration_check.details["reads_checked"],
+    }
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Flash crowd: elastic resharding under a shifting zipfian hot head
+# ---------------------------------------------------------------------------
+def figure_flashcrowd(
+    shards: int = 4,
+    num_replicas: int = 4,
+    write_ratio: float = 0.05,
+    keys_per_shard: int = 128,
+    zipf_exponent: float = 0.5,
+    shift_time: float = 0.100,
+    total_time: float = 0.300,
+    think_time: float = 5e-6,
+    clients_per_replica: int = 6,
+    window: float = 0.020,
+    shard_mode: str = "coupled",
+    seed: int = 1,
+) -> FigureResult:
+    """Flash crowd vs the autoscaler: aggregate throughput recovery.
+
+    A chain-replication deployment (tail-only linearizable reads — the
+    classic CR hot-spot weakness) runs a read-heavy zipfian workload whose
+    entire key population lives on one shard; mid-run the crowd shifts to a
+    different shard (:class:`~repro.workloads.distributions.
+    ShiftingHotspotKeys`). Per-node CPU is modelled single-core so the hot
+    shard's tail genuinely saturates: aggregate throughput is capped by
+    one node while three idle.
+
+    The same seeded scenario runs twice: a ``policy=off`` control row, and
+    a ``policy=on`` row where the autoscale loop co-hosted with the
+    membership service (:mod:`repro.cluster.autoscale`) watches per-shard
+    load and splits the hot shard's slice to cold shards through the live
+    freeze/copy/flip pipeline — including re-splitting after the crowd
+    shifts. The artifact reports per-window per-shard throughput for both
+    rows, the migration rounds the policy executed, and the post-shift
+    aggregate recovery ratio (``policy=on`` / ``policy=off``), with the
+    full verification stack (linearizability + transaction atomicity +
+    migration atomicity) stamped per row.
+    """
+    from repro.cluster.autoscale import AutoscaleConfig
+    from repro.sim.node import ServiceTimeModel
+    from repro.verification import check_all
+    from repro.workloads.distributions import ShiftingHotspotKeys
+
+    _require_coupled("figure flashcrowd", shard_mode)
+    if shards < 2:
+        raise BenchmarkError("figure flashcrowd requires shards >= 2")
+    num_keys = keys_per_shard * shards
+    initial_hot = 0
+    shifted_hot = 1 % shards
+    # Post-shift measurement starts once the policy has had time to detect
+    # the new hot shard and re-split it (a few sampling windows plus
+    # migration rounds); both rows use the same windows.
+    post_lo, post_hi = shift_time + 0.060, total_time - 0.010
+    pre_lo, pre_hi = shift_time * 0.30, shift_time
+
+    def scenario(policy_on: bool) -> Dict[str, object]:
+        autoscale = (
+            AutoscaleConfig(
+                interval=8e-3,
+                window_ticks=2,
+                imbalance_threshold=1.6,
+                min_ops_per_window=200,
+                cooldown=12e-3,
+                max_rounds=8,
+                seed=seed,
+            )
+            if policy_on
+            else None
+        )
+        membership = MembershipConfig(
+            lease_duration=0.040,
+            renewal_interval=0.010,
+            detection=FailureDetectorConfig(ping_interval=0.010, detection_timeout=0.150),
+            autoscale=autoscale,
+        )
+        config = ClusterConfig(
+            protocol="cr",
+            num_replicas=num_replicas,
+            shards=shards,
+            seed=seed,
+            run_membership_service=True,
+            membership=membership,
+            # Single-core nodes: the flash crowd must be able to saturate
+            # the hot shard's tail (the default 20-thread model never
+            # binds at client counts a bespoke figure can afford).
+            service_model=ServiceTimeModel(
+                base=2e-6, send_overhead=0.5e-6, worker_threads=1
+            ),
+        )
+        cluster = Cluster(config)
+        distribution = ShiftingHotspotKeys(
+            num_keys, shards, hot_shard=initial_hot, exponent=zipf_exponent
+        )
+        workload = WorkloadMix(
+            distribution=distribution,
+            write_ratio=write_ratio,
+            value_size=32,
+            seed=seed,
+        )
+        cluster.preload(workload.initial_dataset())
+        history = History()
+        clients: List[ClosedLoopClient] = []
+        client_id = 0
+        for node_id in cluster.node_ids:
+            for _ in range(clients_per_replica):
+                clients.append(
+                    ClosedLoopClient(
+                        client_id=client_id,
+                        cluster=cluster,
+                        workload=workload,
+                        max_ops=10**9,
+                        think_time=think_time,
+                        replica_id=node_id,
+                        history=history,
+                    )
+                )
+                client_id += 1
+        for client in clients:
+            client.start()
+        cluster.sim.schedule_at(shift_time, distribution.set_hot_shard, shifted_hot)
+        cluster.run(until=total_time)
+
+        records = cluster.migration_records
+        flips = [(record.migration, record.flip_time) for record in records]
+        results = [r for c in clients for r in c.results if r.ok]
+
+        num_windows = int(round(total_time / window))
+        per_window = [[0] * shards for _ in range(num_windows)]
+        for r in results:
+            index = int(r.end_time / window)
+            if 0 <= index < num_windows:
+                per_window[index][owner_at(r.op.key, shards, flips, r.end_time)] += 1
+        series = [
+            {
+                "time": index * window,
+                "per_shard_ops_s": [count / window for count in counts],
+                "total_ops_s": sum(counts) / window,
+            }
+            for index, counts in enumerate(per_window)
+        ]
+        pre_ops = sum(1 for r in results if pre_lo <= r.end_time < pre_hi)
+        post_ops = sum(1 for r in results if post_lo <= r.end_time < post_hi)
+
+        report = check_all(
+            history,
+            initial_values=workload.initial_dataset(),
+            migration_records=records,
+        )
+        service = cluster.membership_service
+        autoscaler = cluster.autoscaler
+        return {
+            "series": series,
+            "pre_rate": pre_ops / (pre_hi - pre_lo),
+            "post_rate": post_ops / (post_hi - post_lo),
+            "rounds": [
+                {
+                    "time": entry.time,
+                    "source": entry.migration.source,
+                    "target": entry.migration.target,
+                    "stride": entry.migration.stride,
+                    "offset": entry.migration.offset,
+                }
+                for entry in (autoscaler.rounds if autoscaler else [])
+            ],
+            "migrations_completed": len(records),
+            "migrations_cancelled": service.migrations_cancelled,
+            "check_all_ok": report.ok,
+            "checks": report.summary(),
+        }
+
+    off = scenario(False)
+    on = scenario(True)
+    recovery_ratio = on["post_rate"] / off["post_rate"] if off["post_rate"] else 0.0
+
+    result = FigureResult(
+        figure=f"Flash crowd vs autoscale ({shards} shards, hot shard "
+        f"{initial_hot} -> {shifted_hot} at {shift_time * 1e3:.0f} ms)",
+        headers=["policy", "window_ms", *[f"shard{s}_ops_s" for s in range(shards)], "total_ops_s"],
+        notes=(
+            f"post-shift aggregate recovery {recovery_ratio:.2f}x "
+            f"(policy=on {on['post_rate']:,.0f} ops/s vs policy=off "
+            f"{off['post_rate']:,.0f} ops/s over [{post_lo * 1e3:.0f}, "
+            f"{post_hi * 1e3:.0f}) ms); {len(on['rounds'])} autoscale rounds, "
+            f"{on['migrations_cancelled']} cancelled; check_all: "
+            f"off={off['check_all_ok']}, on={on['check_all_ok']}"
+        ),
+    )
+    for policy, row_data in (("off", off), ("on", on)):
+        for entry in row_data["series"]:
+            result.rows.append(
+                [
+                    policy,
+                    f"{entry['time'] * 1e3:.0f}",
+                    *[f"{rate:,.0f}" for rate in entry["per_shard_ops_s"]],
+                    f"{entry['total_ops_s']:,.0f}",
+                ]
+            )
+    result.data = {
+        "off": off,
+        "on": on,
+        "recovery_ratio": recovery_ratio,
+        "shift_time": shift_time,
+        "window": window,
+        "shards": shards,
+        "post_window": [post_lo, post_hi],
     }
     return result
 

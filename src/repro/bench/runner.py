@@ -554,6 +554,7 @@ def _figure_functions() -> Dict[str, List[Callable[..., Any]]]:
         "8": [gridded(exp.figure_8_derecho)],
         "9": [fixed(exp.figure_9_failure, seed=True, shards=True)],
         "migrate": [fixed(exp.figure_migrate, seed=True, shards=True, min_shards=2)],
+        "flashcrowd": [fixed(exp.figure_flashcrowd, seed=True, shards=True, min_shards=2)],
         "table2": [fixed(exp.table_2_features)],
         "ablations": [gridded(exp.ablation_optimizations), gridded(exp.ablation_wings_batching)],
         "openloop": [gridded(exp.figure_open_loop)],
@@ -641,9 +642,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="append",
         dest="figures",
         metavar="FIG",
-        help="figure to run: 5, 6, 7, 8, 9, migrate, table2, ablations, "
-        "openloop, rmw, shardscale, shardskew, txn, or all (repeatable; "
-        "default: all)",
+        help="figure to run: 5, 6, 7, 8, 9, migrate, flashcrowd, table2, "
+        "ablations, openloop, rmw, shardscale, shardskew, txn, or all "
+        "(repeatable; default: all)",
     )
     parser.add_argument(
         "--scale",
@@ -658,8 +659,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         metavar="S",
         help="override the key-range shard count of every grid cell; the "
-        "bespoke figures 9 and migrate run their scenario on S shards "
-        "(table2 is unaffected)",
+        "bespoke figures 9, migrate and flashcrowd run their scenario on "
+        "S shards (table2 is unaffected)",
     )
     parser.add_argument(
         "--shard-mode",
@@ -721,14 +722,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.shards is not None and args.shards < 1:
         parser.error("--shards must be >= 1")
-    if args.shards == 1 and args.figures and "migrate" in args.figures:
-        # Only when migrate was selected by name: a default/--figure all
-        # sweep with --shards 1 runs the bespoke migrate figure at its own
+    if args.shards == 1 and args.figures:
+        # Only when selected by name: a default/--figure all sweep with
+        # --shards 1 runs the bespoke multi-shard figures at their own
         # default shard count instead (grid cells all run unsharded).
-        parser.error(
-            "--figure migrate needs at least two shards to move a key range "
-            "between; use --shards >= 2 (default: 4)"
-        )
+        sharded_only = [f for f in ("migrate", "flashcrowd") if f in args.figures]
+        if sharded_only:
+            parser.error(
+                f"--figure {'/'.join(sharded_only)} needs at least two shards "
+                "to move a key range between; use --shards >= 2 (default: 4)"
+            )
     if args.shard_mode == "parallel" and (args.shards or 1) > 1:
         # Fail before any figure burns compute, with a clear message
         # instead of a mid-run traceback.
@@ -740,7 +743,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "open-loop figure (closed-loop clients only); use --shard-mode "
                 "coupled or select other figures"
             )
-        membership_figures = [f for f in figures if f in ("9", "migrate")]
+        membership_figures = [f for f in figures if f in ("9", "migrate", "flashcrowd")]
         if membership_figures:
             # Membership/view-change scenarios need one shared simulation
             # that the RM service can reconfigure.

@@ -96,6 +96,18 @@ class ClusterConfig:
                 )
             for plan in self.membership.migrations:
                 plan.migration.validate(self.shards)
+        if self.membership.autoscale is not None:
+            if self.shards < 2:
+                raise ConfigurationError("autoscale requires shards >= 2")
+            if not self.run_membership_service:
+                raise ConfigurationError(
+                    "autoscale is co-hosted with the membership service; "
+                    "set run_membership_service=True"
+                )
+        if self.membership.rejoin and not self.run_membership_service:
+            raise ConfigurationError(
+                "rejoin requires the membership service; set run_membership_service=True"
+            )
         if self.protocol not in protocol_registry():
             raise ConfigurationError(
                 f"unknown protocol {self.protocol!r}; known: {sorted(protocol_registry())}"
@@ -146,6 +158,23 @@ class Cluster:
                 config=config.membership,
             )
             self.membership_service.start()
+        self.autoscaler: Optional["Autoscaler"] = None
+        if self.membership_service is not None and self.sharded:
+            if config.membership.rejoin and all(
+                hasattr(replica, "export_join_snapshot")
+                for replica in self.shard_replicas.values()
+            ):
+                for host in self.hosts.values():
+                    host.enable_rejoin(config.membership.join_retry_interval)
+            if config.membership.autoscale is not None:
+                from repro.cluster.autoscale import Autoscaler
+
+                self.autoscaler = Autoscaler(
+                    cluster=self,
+                    service=self.membership_service,
+                    config=config.membership.autoscale,
+                )
+                self.autoscaler.start()
 
     # -------------------------------------------------------------- assembly
     def _replica_class(self) -> Type[ReplicaNode]:

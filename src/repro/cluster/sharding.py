@@ -67,10 +67,15 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError, SimulationError
 from repro.membership.agent import MembershipAgent
 from repro.membership.messages import (
+    JoinCopied,
+    JoinCopy,
+    JoinRequest,
+    JoinSnapshot,
     MembershipMessage,
     MigrationCopied,
     MigrationCopy,
     MigrationFrozen,
+    MUpdate,
 )
 from repro.membership.view import (
     SHARD_MAP_ACTIVE,
@@ -226,17 +231,22 @@ class FrozenKeys:
         prior = self.prior
         return prior is not None and prior.matches(key)
 
-    def admit(self, op: Operation, callback: Any) -> None:
-        """Park (pre-flip) or redirect (post-flip) one migrated-key operation."""
+    def admit(self, op: Operation, callback: Any) -> bool:
+        """Park (pre-flip) or redirect (post-flip) one migrated-key operation.
+
+        Returns whether the operation was consumed. ``False`` means the
+        key matched a forwarding tombstone but a *later* migration routed
+        it back to this very shard — the caller must serve it locally (a
+        stale tombstone is not allowed to bounce a key it no longer owns).
+        """
         if self.moves(op.key):
             forward = self.forward
             if forward is not None:
-                forward(op, callback)
-            else:
-                self.parked.append((op, callback))
-        else:
-            # Matched through an earlier migration's tombstone.
-            self.prior.admit(op, callback)
+                return forward(op, callback)
+            self.parked.append((op, callback))
+            return True
+        # Matched through an earlier migration's tombstone.
+        return self.prior.admit(op, callback)
 
     def begin_forwarding(self, forward: Any) -> List[Tuple[Operation, Any]]:
         """Flip to forwarding mode, returning the parked backlog to drain."""
@@ -281,6 +291,19 @@ class ShardHost(NodeProcess):
         self.membership_agent: Optional[MembershipAgent] = None
         self._service_node_id: Optional[NodeId] = None
         self._shard_map_seen = 0
+        # ---- node re-join (state transfer) host state; inert unless
+        # enable_rejoin() was called.
+        #: Retry period for the join request loop (``None`` = rejoin off).
+        self._rejoin_retry: Optional[float] = None
+        #: Whether this node wants (or is amid) a re-join.
+        self._join_pending = False
+        #: Whether the retry timer chain is currently armed (dies on crash).
+        self._join_chain_running = False
+        #: Whether client operations park while the snapshot catch-up runs.
+        self._catching_up = False
+        #: Epoch of the join attempt whose snapshots we are applying.
+        self._join_copy_epoch = 0
+        self._join_snapshots_applied = 0
 
     def attach(self, replica: Any) -> None:
         """Register the next shard's guest replica (in shard-id order)."""
@@ -315,12 +338,125 @@ class ShardHost(NodeProcess):
         )
         self.membership_agent.service_driven = True
 
+    def enable_rejoin(self, retry_interval: float) -> None:
+        """Let this node re-enter the view after a restart (state transfer).
+
+        Requires membership to be enabled and every co-hosted replica to
+        export the snapshot hooks (``export_join_snapshot`` /
+        ``apply_join_snapshot``); the cluster gates the call accordingly.
+        """
+        if retry_interval <= 0:
+            raise ConfigurationError("rejoin retry_interval must be positive")
+        self._rejoin_retry = retry_interval
+
+    def crash(self) -> None:
+        super().crash()
+        # Host timers died with the crash; recover() restarts the chain.
+        self._join_chain_running = False
+
     def recover(self) -> None:
-        """Recover the node; a restarted process holds no membership lease."""
+        """Recover the node; a restarted process holds no membership lease.
+
+        With rejoin enabled the node additionally asks the RM service to
+        re-admit it: a join request (retried while the service is busy or
+        an attempt gets cancelled) followed by a per-shard state snapshot
+        through which it catches up before serving clients again.
+        """
         super().recover()
         agent = self.membership_agent
         if agent is not None:
             agent.invalidate_lease()
+        if self._rejoin_retry is not None and self._service_node_id is not None:
+            self._join_pending = True
+            if not self._join_chain_running:
+                self._join_chain_running = True
+                self._send_join_request()
+
+    # -------------------------------------------------------------- re-join
+    def _send_join_request(self) -> None:
+        request = JoinRequest(node_id=self.node_id)
+        self.send(self._service_node_id, request, request.size_bytes)
+        self.set_timer(self._rejoin_retry, self._join_retry_tick)
+
+    def _join_retry_tick(self) -> None:
+        """Drive the join request loop.
+
+        While a join is wanted, re-send the request (the service ignores
+        requests that collide with an in-flight reconfiguration, and a
+        watchdog-cancelled attempt needs a fresh round) — unless the node
+        turns out to be operational without ever having started a catch-up,
+        which means it recovered before the service evicted it and there is
+        nothing to join. Conversely, a node that *becomes* non-operational
+        later (evicted despite having recovered, e.g. a suspicion latched
+        just before its restart) restarts the join. The chain re-arms until
+        the next crash.
+        """
+        if self._join_pending:
+            if self.membership_agent.is_operational() and not self._catching_up:
+                self._join_pending = False
+            else:
+                self._send_join_request()
+                return  # _send_join_request re-armed the chain
+        elif not self.membership_agent.is_operational():
+            self._join_pending = True
+            self._send_join_request()
+            return
+        self.set_timer(self._rejoin_retry, self._join_retry_tick)
+
+    def _begin_catch_up(self) -> None:
+        """The re-admitting view is installing: park client work until
+        the snapshot catch-up completes (replication traffic — INVs, ACKs,
+        VALs — flows normally; the joiner participates as a follower from
+        the install onward, so it never misses a concurrent commit)."""
+        self._catching_up = True
+        for replica in self.shard_replicas:
+            replica._catching_up = True
+
+    def _export_join_snapshots(self, message: JoinCopy) -> None:
+        """Snapshot every co-hosted shard to the joining node (source side).
+
+        Unlike the migration copy, the snapshot does not go through the
+        replicated write path: the joiner already participates in
+        replication for post-install writes, and re-injecting old values
+        as fresh writes would race them. Entries carry each key's logical
+        timestamp instead, and the joiner adopts a value only when it is
+        newer than what it already holds.
+        """
+        joiner = message.joiner
+        for shard_id, replica in enumerate(self.shard_replicas):
+            entries = replica.export_join_snapshot()
+            snapshot = JoinSnapshot(
+                epoch_id=message.epoch_id, shard_id=shard_id, entries=entries
+            )
+            self.send(joiner, snapshot, snapshot.size_bytes)
+
+    def _apply_join_snapshot(self, message: JoinSnapshot) -> None:
+        """Apply one shard's snapshot (joiner side); finish when all arrived."""
+        if not self._join_pending:
+            return  # stale snapshot from an attempt that already concluded
+        if message.epoch_id < self._join_copy_epoch:
+            return  # stale snapshot from a cancelled earlier attempt
+        if message.epoch_id > self._join_copy_epoch:
+            self._join_copy_epoch = message.epoch_id
+            self._join_snapshots_applied = 0
+        self.shard_replicas[message.shard_id].apply_join_snapshot(
+            message.entries or []
+        )
+        self._join_snapshots_applied += 1
+        if self._join_snapshots_applied < len(self.shard_replicas):
+            return
+        # Caught up on every shard: resume client service and ack the RM.
+        self._catching_up = False
+        self._join_pending = False
+        for replica in self.shard_replicas:
+            replica._catching_up = False
+            parked = replica._catchup_parked
+            if parked:
+                replica._catchup_parked = []
+                for op, callback in parked:
+                    replica.submit_local((op, callback))
+        ack = JoinCopied(epoch_id=message.epoch_id, joiner=self.node_id)
+        self.send(self._service_node_id, ack, ack.size_bytes)
 
     def _membership_send(self, dst: NodeId, message: MembershipMessage, size: int) -> None:
         self.send(dst, message, size)
@@ -489,12 +625,20 @@ class ShardHost(NodeProcess):
             return
         shard_of = self.router.shard_of
         replicas = self.shard_replicas
+        home = migration.source
 
-        def forward(op: Operation, callback: Any) -> None:
-            replicas[shard_of(op.key)].submit_local((op, callback))
+        def forward(op: Operation, callback: Any) -> bool:
+            owner = shard_of(op.key)
+            if owner == home:
+                # A later migration routed the key back to this shard: the
+                # tombstone no longer applies — the caller serves it here.
+                return False
+            replicas[owner].submit_local((op, callback))
+            return True
 
         for op, callback in frozen.begin_forwarding(forward):
-            forward(op, callback)
+            if not forward(op, callback):
+                source.submit_local((op, callback))
 
     # ------------------------------------------------------------- dispatch
     def on_message(self, src: NodeId, message: Any) -> None:
@@ -503,8 +647,22 @@ class ShardHost(NodeProcess):
                 if type(message) is MigrationCopy:
                     self._start_copy(message)
                     return
+                if type(message) is JoinCopy:
+                    self._export_join_snapshots(message)
+                    return
+                if type(message) is JoinSnapshot:
+                    self._apply_join_snapshot(message)
+                    return
                 agent = self.membership_agent
                 if agent is not None:
+                    if (
+                        type(message) is MUpdate
+                        and message.joined == self.node_id
+                        and self._join_pending
+                    ):
+                        # This view re-admits us: park client work from the
+                        # install instant until the snapshots are applied.
+                        self._begin_catch_up()
                     agent.handle(src, message)
                     return
             raise SimulationError(

@@ -517,6 +517,64 @@ class HermesReplica(ReplicaNode):
                 self._maybe_commit(pending)
         self.transport.flush()
 
+    # ------------------------------------------------- join state transfer
+    def export_join_snapshot(self) -> list:
+        """Snapshot this replica's state for a (re)joining node.
+
+        Entries are ``(key, value, ts_version, ts_cid, valid, rmw_flag)``
+        tuples in sorted key order (determinism). The logical timestamp is
+        what lets the joiner merge safely: it adopts an entry only when it
+        is newer than what it already replicated as a post-install follower.
+        """
+        entries = []
+        for key in sorted(self.store.keys()):
+            record = self._records_get(key)
+            meta = record.meta
+            if meta is None:
+                entries.append((key, record.value, 0, 0, True, False))
+            else:
+                entries.append(
+                    (
+                        key,
+                        record.value,
+                        meta.timestamp.version,
+                        meta.timestamp.cid,
+                        meta.state is KeyState.VALID,
+                        meta.rmw_flag,
+                    )
+                )
+        return entries
+
+    def apply_join_snapshot(self, entries: list) -> None:
+        """Merge a join snapshot into local state (timestamp-guarded).
+
+        For each entry: adopt the snapshot value when its timestamp is
+        strictly newer than ours; on an equal timestamp, only promote an
+        Invalid key to Valid when the source had validated it (its VAL was
+        lost to us while we were down). Never regress state we replicated
+        after the re-admitting view installed — concurrent writes reach us
+        through the normal INV/VAL path with higher timestamps. Entries
+        adopted as Invalid (the source had an in-flight write) heal like
+        any lost VAL: a read stalling on them arms the replay timer.
+        """
+        for key, value, version, cid, valid, rmw_flag in entries:
+            snap_ts = Timestamp(version=version, cid=cid)
+            record, meta = self._record(key)
+            if snap_ts > meta.timestamp:
+                record.value = value
+                meta.timestamp = snap_ts
+                meta.rmw_flag = rmw_flag
+                meta.transition(KeyState.VALID if valid else KeyState.INVALID)
+                if valid:
+                    self._drain_stalled(key)
+            elif (
+                snap_ts == meta.timestamp
+                and valid
+                and meta.state is KeyState.INVALID
+            ):
+                meta.transition(KeyState.VALID)
+                self._drain_stalled(key)
+
     # -------------------------------------------------------------- helpers
     def _record(self, key: Key) -> Tuple[ValueRecord, KeyMeta]:
         """Fetch (creating if needed) the record and protocol metadata of a key."""

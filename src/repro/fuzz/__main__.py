@@ -42,6 +42,8 @@ def _config_from_args(args: argparse.Namespace) -> FuzzConfig:
         overrides["fault_kinds"] = tuple(args.fault_kinds.split(","))
     if args.max_faults is not None:
         overrides["max_faults"] = args.max_faults
+    if args.autoscale_probability is not None:
+        overrides["autoscale_probability"] = args.autoscale_probability
     return FuzzConfig(**overrides)
 
 
@@ -135,6 +137,13 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--protocols", help="comma-separated protocol names")
     parser.add_argument("--fault-kinds", help="comma-separated fault kinds to sample")
     parser.add_argument("--max-faults", type=int, help="max fault slots per schedule")
+    parser.add_argument(
+        "--autoscale-probability",
+        type=float,
+        default=None,
+        help="chance a sharded cell runs the elastic resharding policy "
+        "(plus node rejoin) alongside its faults (default: 0)",
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

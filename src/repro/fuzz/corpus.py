@@ -74,6 +74,10 @@ def schedule_to_dict(schedule: FuzzSchedule) -> Dict[str, Any]:
     data: Dict[str, Any] = {"format": SCHEDULE_FORMAT}
     for name in _SCHEDULE_FIELDS:
         data[name] = getattr(schedule, name)
+    if schedule.autoscale:
+        # Omitted when off, so every pre-existing corpus entry (and its
+        # sorted-key JSON byte form) is untouched by the knob's existence.
+        data["autoscale"] = True
     data["events"] = [event_to_dict(event) for event in schedule.events]
     data["migrations"] = [
         {
@@ -113,7 +117,12 @@ def schedule_from_dict(data: Dict[str, Any]) -> FuzzSchedule:
         )
         for entry in data.get("migrations", [])
     ]
-    return FuzzSchedule(events=events, migrations=migrations, **fields)
+    return FuzzSchedule(
+        events=events,
+        migrations=migrations,
+        autoscale=bool(data.get("autoscale", False)),
+        **fields,
+    )
 
 
 def save_schedule(schedule: FuzzSchedule, path: Union[str, Path]) -> Path:

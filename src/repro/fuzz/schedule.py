@@ -35,18 +35,47 @@ from repro.membership.view import ShardMigration
 DEFAULT_FAULT_KINDS = ("crash", "partition", "slow_link", "slow_node", "clock_skew")
 
 
-def fuzz_membership_config() -> MembershipConfig:
+def fuzz_membership_config(autoscale: bool = False) -> MembershipConfig:
     """Fast-detection membership settings for smoke-scale fuzz trials.
 
     The service defaults (150 ms detection timeout — the paper's Figure 9
     setting) are far longer than an entire smoke run; these values make
     crash detection, lease-based view changes and migrations land inside
-    the trial so the fuzzer actually exercises them.
+    the trial so the fuzzer actually exercises them. With ``autoscale`` the
+    elastic-resharding policy loop rides along (see
+    :func:`fuzz_autoscale_config`) together with node rejoin, so recovered
+    nodes re-enter mid-trial and policy-driven migrations interleave with
+    the scheduled faults.
     """
     return MembershipConfig(
         lease_duration=5e-3,
         renewal_interval=1e-3,
         detection=FailureDetectorConfig(ping_interval=1e-3, detection_timeout=8e-3),
+        rejoin=autoscale,
+        join_timeout=6e-3,
+        join_retry_interval=2e-3,
+        autoscale=fuzz_autoscale_config() if autoscale else None,
+    )
+
+
+def fuzz_autoscale_config():
+    """Aggressive autoscale settings sized to smoke-scale fuzz trials.
+
+    The threshold sits just above 1 so ordinary per-shard jitter (and any
+    skew a fault induces) triggers rounds within a trial's few dozen
+    milliseconds — the fuzzer wants the freeze/copy/flip machinery racing
+    the scheduled faults, not a realistic production policy.
+    """
+    from repro.cluster.autoscale import AutoscaleConfig
+
+    return AutoscaleConfig(
+        interval=0.3e-3,
+        window_ticks=2,
+        imbalance_threshold=1.05,
+        min_ops_per_window=5,
+        cooldown=1e-3,
+        max_rounds=4,
+        seed=0,
     )
 
 
@@ -98,6 +127,10 @@ class FuzzConfig:
             loosely-synchronized-clocks assumption, kept well under the
             fuzz lease duration so leases stay sound.
         migration_probability: Chance a sharded cell plans one migration.
+        autoscale_probability: Chance a sharded cell runs the elastic
+            resharding policy (plus node rejoin) alongside its faults.
+            Default 0 — the standard campaign's schedules stay exactly as
+            before; the nightly campaign's dedicated cell turns it on.
         max_sim_time: Safety cap on simulated seconds per trial.
     """
 
@@ -122,12 +155,15 @@ class FuzzConfig:
     max_clock_skew: float = 0.5e-3
     clock_skew_bound: float = 1e-3
     migration_probability: float = 0.5
+    autoscale_probability: float = 0.0
     max_sim_time: float = 0.050
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` for invalid settings."""
         if not self.protocols:
             raise ConfigurationError("fuzz config needs at least one protocol")
+        if not 0.0 <= self.autoscale_probability <= 1.0:
+            raise ConfigurationError("autoscale_probability must lie in [0, 1]")
         unknown = sorted(set(self.fault_kinds) - set(DEFAULT_FAULT_KINDS))
         if unknown:
             raise ConfigurationError(f"unknown fault kinds: {unknown}")
@@ -160,6 +196,9 @@ class FuzzSchedule:
     max_sim_time: float
     events: List[FailureEvent] = field(default_factory=list)
     migrations: List[PlannedMigration] = field(default_factory=list)
+    #: Run the elastic resharding policy (and node rejoin) during the trial.
+    #: Only meaningful on sharded cells; ignored when ``shards < 2``.
+    autoscale: bool = False
 
     def to_spec(self) -> ExperimentSpec:
         """The :class:`ExperimentSpec` that runs this schedule.
@@ -170,7 +209,13 @@ class FuzzSchedule:
         legally wedge a client forever (crash without recovery, a dropped
         message on a protocol without retransmissions), so trials are
         bounded runs judged on whatever completed.
+
+        Autoscale cells run the zipfian workload (the paper's 0.99 skew):
+        uniform load never crosses the policy's imbalance threshold, and a
+        policy that never fires would leave the autoscale × faults product
+        space untested.
         """
+        autoscale = self.autoscale and self.shards >= 2
         return ExperimentSpec(
             protocol=self.protocol,
             num_replicas=self.num_replicas,
@@ -191,7 +236,8 @@ class FuzzSchedule:
             faults=tuple(self.events),
             run_membership=True,
             migrations=tuple(self.migrations),
-            membership=fuzz_membership_config(),
+            membership=fuzz_membership_config(autoscale=autoscale),
+            zipfian_exponent=0.99 if autoscale else None,
             allow_incomplete=True,
         )
 
@@ -199,10 +245,11 @@ class FuzzSchedule:
         """One-line summary for campaign logs."""
         kinds = ",".join(sorted({event.kind.value for event in self.events})) or "none"
         migration = f" +{len(self.migrations)} migration(s)" if self.migrations else ""
+        autoscale = " +autoscale" if self.autoscale else ""
         return (
             f"seed={self.seed} {self.protocol} n={self.num_replicas} "
             f"shards={self.shards} wr={self.write_ratio} txn={self.txn_fraction} "
-            f"faults=[{kinds}]{migration}"
+            f"faults=[{kinds}]{migration}{autoscale}"
         )
 
 
@@ -316,6 +363,13 @@ def generate_schedule(seed: int, config: Optional[FuzzConfig] = None) -> FuzzSch
             PlannedMigration(at_time=at_time, migration=ShardMigration(source=source, target=target))
         )
 
+    # Guarded draw: with the default probability of 0 no random number is
+    # consumed, so every schedule a seed generated before this knob existed
+    # is reproduced byte-for-byte.
+    autoscale = False
+    if shards >= 2 and config.autoscale_probability > 0:
+        autoscale = rng.random() < config.autoscale_probability
+
     events.sort(key=lambda event: (event.time, event.kind.value))
     return FuzzSchedule(
         seed=seed,
@@ -330,4 +384,5 @@ def generate_schedule(seed: int, config: Optional[FuzzConfig] = None) -> FuzzSch
         max_sim_time=config.max_sim_time,
         events=events,
         migrations=migrations,
+        autoscale=autoscale,
     )

@@ -93,10 +93,18 @@ class Nack(MembershipMessage):
 
 @dataclass(slots=True)
 class MUpdate(MembershipMessage):
-    """Installation of a reconfigured view on a live replica (paper §3.4)."""
+    """Installation of a reconfigured view on a live replica (paper §3.4).
+
+    ``joined`` is set only on the copy sent to a node this view re-admits
+    (the join state-transfer path): it tells the joining node's host to
+    park client operations until its snapshot catch-up completes, exactly
+    from the install instant — no separate control message could mark the
+    boundary race-free.
+    """
 
     view: MembershipView = None  # type: ignore[assignment]
     lease_duration: float = 0.0
+    joined: Optional[NodeId] = None
 
 
 @dataclass(slots=True)
@@ -116,6 +124,70 @@ class MigrationCopy(MembershipMessage):
 
     epoch_id: int = 0
     migration: Optional[ShardMigration] = None
+
+
+@dataclass(slots=True)
+class JoinRequest(MembershipMessage):
+    """A restarted node asks the RM service to re-admit it to the view.
+
+    Sent by the node's host on recovery (when re-join is enabled); retried
+    on a timer until the join completes, since the service ignores requests
+    that collide with an in-flight reconfiguration or rebalance.
+    """
+
+    node_id: NodeId = -1
+
+
+@dataclass(slots=True)
+class JoinCopy(MembershipMessage):
+    """Instruct a live node to snapshot its shards to a (re)joining node.
+
+    The join epoch is the epoch of the view that re-admitted the joiner;
+    stale copies (from a cancelled join) carry an old epoch and are ignored.
+    """
+
+    epoch_id: int = 0
+    joiner: NodeId = -1
+
+
+@dataclass(slots=True)
+class JoinSnapshot(MembershipMessage):
+    """One shard's state snapshot streamed to a joining node.
+
+    Unlike migration acks this *is* data on the wire: the joiner missed
+    every write since its crash, so the snapshot bytes really travel.
+    ``entries`` holds ``(key, value, ts_version, ts_cid, valid, rmw_flag)``
+    tuples — enough for the joiner to adopt each key's committed value and
+    logical timestamp without regressing anything newer it already
+    replicated as a post-view-install follower.
+    """
+
+    epoch_id: int = 0
+    shard_id: int = 0
+    entries: Optional[list] = None
+
+    @property
+    def size_bytes(self) -> int:
+        # Key + value + timestamp per entry (modelled at the library's
+        # default wire sizes), plus the control header.
+        entries = self.entries or ()
+        data = 0
+        for entry in entries:
+            data += 8 + 8  # key + timestamp
+            value = entry[1]
+            if isinstance(value, (bytes, bytearray, str)):
+                data += len(value)
+            else:
+                data += 32
+        return CONTROL_MESSAGE_BYTES + data
+
+
+@dataclass(slots=True)
+class JoinCopied(MembershipMessage):
+    """The joining node reports every shard snapshot applied."""
+
+    epoch_id: int = 0
+    joiner: NodeId = -1
 
 
 @dataclass(slots=True)

@@ -38,6 +38,9 @@ from repro.membership.detector import FailureDetector, FailureDetectorConfig
 from repro.membership.messages import (
     Accept,
     Accepted,
+    JoinCopied,
+    JoinCopy,
+    JoinRequest,
     LeaseGrant,
     MembershipMessage,
     MigrationCopied,
@@ -111,6 +114,19 @@ class MembershipConfig:
         detection: Failure detector settings (ping interval / timeout).
         service_node_id: Node id used by the RM service on the network.
         migrations: Planned live shard migrations (sharded clusters only).
+        rejoin: Whether restarted nodes re-enter the view via a join
+            request + state-transfer snapshot (sharded clusters whose
+            protocol exports snapshot hooks). Off by default: pre-existing
+            scenarios model a restarted node staying outside the view.
+        join_timeout: Watchdog on the join snapshot handshake — a join
+            whose copy has not completed within this window is cancelled
+            (the joiner is evicted again; its host retries).
+        join_retry_interval: How often a recovering node re-sends its
+            :class:`~repro.membership.messages.JoinRequest` while the
+            service is busy or a previous attempt was cancelled.
+        autoscale: Elastic resharding policy configuration (see
+            :class:`repro.cluster.autoscale.AutoscaleConfig`); ``None``
+            disables the control loop.
     """
 
     lease_duration: float = 40e-3
@@ -118,6 +134,10 @@ class MembershipConfig:
     detection: FailureDetectorConfig = field(default_factory=FailureDetectorConfig)
     service_node_id: NodeId = 10_000
     migrations: List[PlannedMigration] = field(default_factory=list)
+    rejoin: bool = False
+    join_timeout: float = 60e-3
+    join_retry_interval: float = 20e-3
+    autoscale: Optional[object] = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` for invalid settings."""
@@ -125,7 +145,11 @@ class MembershipConfig:
             raise ConfigurationError("lease_duration must be positive")
         if self.renewal_interval <= 0 or self.renewal_interval >= self.lease_duration:
             raise ConfigurationError("renewal_interval must be positive and < lease_duration")
+        if self.join_timeout <= 0 or self.join_retry_interval <= 0:
+            raise ConfigurationError("join timers must be positive")
         self.detection.validate()
+        if self.autoscale is not None:
+            self.autoscale.validate()
 
 
 class MembershipService(NodeProcess):
@@ -179,6 +203,14 @@ class MembershipService(NodeProcess):
         self.migrations_cancelled = 0
         #: One record per completed migration, in completion order.
         self.migration_records: List[MigrationRecord] = []
+        # ---- join (node re-entry) orchestration state.
+        #: The node currently being re-admitted (``None`` when idle).
+        self._joining: Optional[NodeId] = None
+        #: Epoch of the installed view that re-admitted the joiner
+        #: (0 until that view installs; guards stale snapshot acks).
+        self._join_epoch = 0
+        self.joins_completed = 0
+        self.joins_cancelled = 0
 
     # ----------------------------------------------------------------- start
     def start(self) -> None:
@@ -213,6 +245,12 @@ class MembershipService(NodeProcess):
         if isinstance(message, MigrationCopied):
             self._on_migration_copied(message)
             return
+        if isinstance(message, JoinRequest):
+            self._on_join_request(message)
+            return
+        if isinstance(message, JoinCopied):
+            self._on_join_copied(message)
+            return
         # Other message kinds are not expected at the service; ignore them.
 
     def on_local_work(self, work) -> None:  # pragma: no cover - not used
@@ -239,9 +277,10 @@ class MembershipService(NodeProcess):
 
     # ----------------------------------------------------- failure handling
     def _check_failures(self) -> None:
-        if self._reconfiguring or self._migrating is not None:
-            # One reconfiguration at a time; a crash during a migration is
-            # picked up on the next ping tick after the flip completes.
+        if self._reconfiguring or self._migrating is not None or self._joining is not None:
+            # One reconfiguration at a time; a crash during a migration or
+            # join is picked up on the next ping tick after it completes
+            # (the join watchdog bounds how long a stuck join can defer it).
             return
         suspected = self.detector.suspected(self.sim.now) & self.view.members
         if not suspected:
@@ -325,9 +364,21 @@ class MembershipService(NodeProcess):
         for node in self._pending_removals:
             self.detector.remove(node)
         update = MUpdate(view=view, lease_duration=self.config.lease_duration)
+        # The copy sent to a node this view re-admits carries the joined
+        # marker so its host starts parking client work at install time
+        # (``None`` on every other path — bytes and behavior unchanged).
+        joiner = self._joining if self._join_epoch == 0 else None
         for node in sorted(view.members):
             self._last_lease_grant[node] = self.sim.now
-            self.send(node, update, update.size_bytes)
+            if node == joiner:
+                marked = MUpdate(
+                    view=view,
+                    lease_duration=self.config.lease_duration,
+                    joined=node,
+                )
+                self.send(node, marked, marked.size_bytes)
+            else:
+                self.send(node, update, update.size_bytes)
         self.reconfigurations += 1
         self.reconfiguration_times.append(self.sim.now)
         self._reconfiguring = False
@@ -338,17 +389,33 @@ class MembershipService(NodeProcess):
 
     # ------------------------------------------------------------ migration
     def _start_migration(self, plan: PlannedMigration) -> None:
-        if self._reconfiguring or self._migrating is not None:
-            # A failure reconfiguration (or another migration) is in flight:
-            # retry shortly. Migrations are rebalances — they can wait.
+        if self._reconfiguring or self._migrating is not None or self._joining is not None:
+            # A failure reconfiguration (or another migration/join) is in
+            # flight: retry shortly. Migrations are rebalances — they can wait.
             self.set_timer(self._MIGRATION_RETRY, self._start_migration, plan)
             return
-        record = MigrationRecord(migration=plan.migration)
+        self._begin_migration(plan.migration)
+
+    def request_migration(self, migration: ShardMigration) -> bool:
+        """Start a rebalance now if the service is idle (autoscaler entry).
+
+        Unlike a :class:`PlannedMigration` this never queues a retry timer:
+        the caller owns the pacing (the autoscale control loop re-plans on
+        its next sampling tick against whatever chain is applied by then).
+        Returns whether the migration round was started.
+        """
+        if self._reconfiguring or self._migrating is not None or self._joining is not None:
+            return False
+        self._begin_migration(migration)
+        return True
+
+    def _begin_migration(self, migration: ShardMigration) -> None:
+        record = MigrationRecord(migration=migration)
         self._migrating = record
         self._frozen_acks = set()
         preparing = ShardMap(
             epoch=self.view.epoch_id + 1,
-            migrations=self._applied_migrations() + (plan.migration,),
+            migrations=self._applied_migrations() + (migration,),
             phase=SHARD_MAP_PREPARING,
         )
         new_view = MembershipView(
@@ -406,8 +473,69 @@ class MembershipService(NodeProcess):
         )
         self._propose(new_view, acceptors=self.view.members)
 
+    # ----------------------------------------------------------------- joins
+    def _on_join_request(self, message: JoinRequest) -> None:
+        """A restarted node asks to re-enter the view.
+
+        Ignored while any reconfiguration, migration or join is in flight
+        (the joiner's host retries on a timer) and when the node is already
+        a member. Otherwise the join is a Paxos-decided view change adding
+        the node back, followed by a state-transfer snapshot (see
+        :meth:`_after_install`).
+        """
+        joiner = message.node_id
+        if self._reconfiguring or self._migrating is not None or self._joining is not None:
+            return
+        if joiner in self.view.members:
+            return
+        self._joining = joiner
+        self._join_epoch = 0
+        self._propose(self.view.with_added(joiner), acceptors=self.view.members)
+
+    def _join_watchdog(self, joiner: NodeId, epoch: int) -> None:
+        """Cancel a join whose snapshot handshake stalled.
+
+        Fires when the copy (source export → joiner apply → ack) has not
+        completed within ``join_timeout`` — e.g. the snapshot source
+        crashed mid-copy. The joiner is evicted again so failure handling
+        (serialized behind joins) resumes; the joiner's host keeps
+        retrying and the next attempt picks a source from the then-current
+        view, which no longer contains a crashed source.
+        """
+        if self._joining != joiner or self._join_epoch != epoch:
+            return  # completed (or superseded) in time
+        self.joins_cancelled += 1
+        self._joining = None
+        self._join_epoch = 0
+        self._propose(self.view.without(joiner), acceptors=self.view.members - {joiner})
+
+    def _on_join_copied(self, message: JoinCopied) -> None:
+        if self._joining != message.joiner or message.epoch_id != self._join_epoch:
+            return  # stale ack from a cancelled attempt
+        self._joining = None
+        self._join_epoch = 0
+        self.joins_completed += 1
+
     def _after_install(self, view: MembershipView) -> None:
-        """Continue the migration state machine after a view installed."""
+        """Continue the migration/join state machines after a view installed."""
+        joiner = self._joining
+        if joiner is not None and self._join_epoch == 0:
+            if joiner in view.members:
+                # The view re-admitting the joiner is installed: stream it
+                # a state snapshot from a deterministic live source, and
+                # bound the handshake with a watchdog.
+                self._join_epoch = view.epoch_id
+                others = sorted(view.members - {joiner})
+                source = others[joiner % len(others)]
+                copy = JoinCopy(epoch_id=view.epoch_id, joiner=joiner)
+                self.send(source, copy, copy.size_bytes)
+                self.set_timer(
+                    self.config.join_timeout, self._join_watchdog, joiner, view.epoch_id
+                )
+            else:
+                # Paxos value adoption surfaced a different pending view:
+                # drop this attempt (the joiner's host retries).
+                self._joining = None
         record = self._migrating
         shard_map = view.shard_map
         if shard_map is None:

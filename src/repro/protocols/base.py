@@ -156,6 +156,13 @@ class ReplicaNode(NodeProcess):
         #: client operations on the migrated keys park here. Runs that
         #: never migrate pay one ``None`` check per client operation.
         self._frozen = None
+        #: Node re-join catch-up: ``True`` only between the re-admitting
+        #: view's install and the completion of the join state snapshot,
+        #: when client operations park in ``_catchup_parked`` (replication
+        #: traffic flows normally). Set and cleared by the ShardHost; runs
+        #: that never rejoin pay one ``False`` check per client operation.
+        self._catching_up = False
+        self._catchup_parked: List[Tuple[Operation, ClientCallback]] = []
         #: Counters exposed to the analysis layer.
         self.ops_completed = 0
         self.reads_served_locally = 0
@@ -274,6 +281,12 @@ class ReplicaNode(NodeProcess):
         ):
             self.complete(op, callback, OpStatus.UNAVAILABLE)
             return
+        if self._catching_up:
+            # Rejoined the view but still applying the join state snapshot:
+            # serving now could read state from before the crash. Park; the
+            # host drains the backlog when the catch-up completes.
+            self._catchup_parked.append((op, callback))
+            return
         participant = self._txn_participant
         if participant is not None and participant.locks and op.key in participant.locks:
             # The key is locked by an in-flight transaction at this lock
@@ -282,11 +295,18 @@ class ReplicaNode(NodeProcess):
             participant.park(op, callback)
             return
         frozen = self._frozen
-        if frozen is not None and frozen.matches(op.key):
+        if frozen is not None and op.client_id >= 0 and frozen.matches(op.key):
             # The key is (or was) migrating to another shard: park until
             # the routing flip, or forward to the new owner after it.
-            frozen.admit(op, callback)
-            return
+            # Migration-machinery writes (negative client ids, e.g. the
+            # copy injecting frozen values at the target) are pre-routed
+            # by the migration itself and must bypass the filter — a
+            # chained rebalance can otherwise bounce the copy back to the
+            # frozen source and deadlock the round. ``admit`` may also
+            # decline a stale forwarding tombstone whose key a later
+            # migration routed back here; then serve the operation.
+            if frozen.admit(op, callback):
+                return
         self.handle_client_op(op, callback)
         transport = self.transport
         if type(transport) is not DirectTransport:

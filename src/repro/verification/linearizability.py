@@ -107,7 +107,6 @@ class LinearizabilityChecker:
     ) -> bool:
         if not records:
             return True
-        index_of = {id(record): i for i, record in enumerate(records)}
         n = len(records)
         # Precompute values for memoization keys.
         seen: Set[Tuple[FrozenSet[int], int]] = set()
@@ -118,16 +117,43 @@ class LinearizabilityChecker:
             except TypeError:  # pragma: no cover - unhashable values
                 return hash(repr(value))
 
-        def minimal_candidates(remaining: List[CompletedOperation]) -> List[CompletedOperation]:
+        def minimal_candidates(remaining: Tuple[int, ...]) -> List[int]:
             # An operation may be linearized next only if no other remaining
             # operation *responded* before it was invoked.
             horizon = min(
-                (r.response_time for r in remaining if r.response_time is not None),
+                (
+                    records[i].response_time
+                    for i in remaining
+                    if records[i].response_time is not None
+                ),
                 default=float("inf"),
             )
-            return [r for r in remaining if r.invoke_time <= horizon]
+            return [i for i in remaining if records[i].invoke_time <= horizon]
 
-        def step(remaining: Tuple[int, ...], value: Value) -> bool:
+        def successors(remaining: Tuple[int, ...], value: Value):
+            # Yield the successor states of one search node, in the same
+            # order the recursive formulation tried them: every minimal
+            # candidate linearized next, then every pending update skipped
+            # entirely (it may never have taken effect).
+            for index in minimal_candidates(remaining):
+                outcome = self._apply(records[index], value)
+                if outcome is _IMPOSSIBLE:
+                    continue
+                yield (
+                    tuple(i for i in remaining if i != index),
+                    outcome,
+                )
+            for index in remaining:
+                record = records[index]
+                if not record.completed and record.op.op_type.is_update:
+                    yield (
+                        tuple(i for i in remaining if i != index),
+                        value,
+                    )
+
+        def enter(remaining: Tuple[int, ...], value: Value) -> Optional[bool]:
+            # Returns True (solved) / False (dead end) for leaf decisions, or
+            # None after pushing a frame for the new interior node.
             if not remaining:
                 return True
             explored[0] += 1
@@ -139,30 +165,33 @@ class LinearizabilityChecker:
             memo_key = (frozenset(remaining), value_key(value))
             if memo_key in seen:
                 return False
-            remaining_records = [records[i] for i in remaining]
-            for candidate in minimal_candidates(remaining_records):
-                outcome = self._apply(candidate, value)
-                if outcome is _IMPOSSIBLE:
-                    continue
-                new_value = outcome
-                next_remaining = tuple(i for i in remaining if i != index_of[id(candidate)])
-                if step(next_remaining, new_value):
-                    return True
-            # Pending updates may also be skipped entirely (they may never
-            # have taken effect).
-            pending_skippable = [
-                r
-                for r in remaining_records
-                if not r.completed and r.op.op_type.is_update
-            ]
-            for candidate in pending_skippable:
-                next_remaining = tuple(i for i in remaining if i != index_of[id(candidate)])
-                if step(next_remaining, value):
-                    return True
-            seen.add(memo_key)
-            return False
+            stack.append((memo_key, successors(remaining, value)))
+            return None
 
-        return step(tuple(range(n)), initial_value)
+        # Depth-first search with an explicit stack: one frame per partial
+        # linearization, so hot keys with thousands of operations cannot
+        # overflow the interpreter's recursion limit.
+        stack: List[Tuple[Tuple[FrozenSet[int], int], object]] = []
+        outcome = enter(tuple(range(n)), initial_value)
+        if outcome is not None:
+            return outcome
+        while stack:
+            memo_key, options = stack[-1]
+            descended = False
+            for next_remaining, next_value in options:
+                sub = enter(next_remaining, next_value)
+                if sub is True:
+                    return True
+                if sub is None:
+                    descended = True
+                    break
+                # sub is False: this successor is a dead end; try the next.
+            if not descended:
+                # All successors exhausted: memoize the failure and backtrack
+                # (the generator resumes where it left off on the next visit).
+                seen.add(memo_key)
+                stack.pop()
+        return False
 
     def _apply(self, record: CompletedOperation, value: Value):
         """Apply one operation at its linearization point.

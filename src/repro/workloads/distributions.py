@@ -100,3 +100,65 @@ class ZipfianKeys(KeyDistribution):
             raise WorkloadError(f"rank {rank} out of range")
         weight = 1.0 / ((rank + 1) ** self.exponent)
         return weight / self._total
+
+
+class ShiftingHotspotKeys(KeyDistribution):
+    """Zipfian access concentrated on one shard, with a movable hot spot.
+
+    Models a flash crowd: popularity rank ``r`` maps to key
+    ``(hot_shard + r * num_shards) % num_keys``, so when ``num_shards``
+    divides ``num_keys`` every access lands on keys congruent to
+    ``hot_shard`` modulo ``num_shards`` — the whole zipfian head (and tail)
+    hammers a single shard. :meth:`set_hot_shard` re-aims the crowd
+    mid-run; scheduling it at a simulated instant (e.g. via
+    ``cluster.sim.schedule_at``) keeps runs deterministic because the
+    switch happens at an exact event time, not a wall-clock one.
+
+    Args:
+        num_keys: Size of the key space; must be a multiple of
+            ``num_shards`` so the hot slice stays shard-pure.
+        num_shards: Shard count of the deployment the workload targets.
+        hot_shard: Initially hot shard.
+        exponent: Zipf exponent over ranks within the hot slice.
+    """
+
+    def __init__(
+        self,
+        num_keys: int,
+        num_shards: int,
+        hot_shard: int = 0,
+        exponent: float = 0.99,
+    ) -> None:
+        super().__init__(num_keys)
+        if num_shards < 1:
+            raise WorkloadError("num_shards must be >= 1")
+        if num_keys % num_shards != 0:
+            raise WorkloadError("num_keys must be a multiple of num_shards")
+        if not 0 <= hot_shard < num_shards:
+            raise WorkloadError(f"hot_shard {hot_shard} out of range")
+        if exponent <= 0:
+            raise WorkloadError("zipfian exponent must be positive")
+        self.num_shards = num_shards
+        self.hot_shard = hot_shard
+        self.exponent = exponent
+        ranks = num_keys // num_shards
+        self._cdf: List[float] = []
+        total = 0.0
+        for rank in range(1, ranks + 1):
+            total += 1.0 / (rank ** exponent)
+            self._cdf.append(total)
+        self._total = total
+
+    def set_hot_shard(self, shard: int) -> None:
+        """Re-aim the flash crowd at another shard (takes effect immediately)."""
+        if not 0 <= shard < self.num_shards:
+            raise WorkloadError(f"hot_shard {shard} out of range")
+        self.hot_shard = shard
+
+    def sample(self, rng: random.Random) -> Key:
+        """Draw a key with zipfian popularity inside the hot shard's slice."""
+        target = rng.random() * self._total
+        rank = bisect.bisect_left(self._cdf, target)
+        if rank >= len(self._cdf):
+            rank = len(self._cdf) - 1
+        return (self.hot_shard + rank * self.num_shards) % self.num_keys

@@ -9,6 +9,7 @@ from repro.cluster.failures import FailureEvent, FailureInjector
 from repro.errors import ConfigurationError
 from repro.fuzz import (
     FuzzConfig,
+    FuzzSchedule,
     derive_trial_seed,
     generate_schedule,
     is_one_minimal,
@@ -21,6 +22,8 @@ from repro.fuzz import (
     select_corpus,
     shrink_schedule,
 )
+from repro.membership.service import PlannedMigration
+from repro.membership.view import ShardMigration
 from tests.conftest import make_cluster
 
 #: Directed schedule space for the chain-protocol gray-failure tests: CR
@@ -137,6 +140,57 @@ def test_shrinker_deletes_every_non_load_bearing_event():
     assert {e.node for e in minimal.events} == {0, 1}
     assert is_one_minimal(minimal, oracle=_needs_both_crashes)
     assert not is_one_minimal(schedule, oracle=_needs_both_crashes)
+
+
+def test_shrinker_minimizes_migration_bearing_schedules():
+    # Regression for the PR 7 shrinker on schedules that carry planned
+    # migrations and the autoscale cell flag: deletion must consider
+    # migrations as first-class droppable slots, the surviving schedule
+    # must be one-minimal, and dataclasses.replace-based copies must carry
+    # the autoscale flag through every shrink step. The minimal schedule is
+    # then re-verified by actually replaying it.
+    schedule = FuzzSchedule(
+        seed=9,
+        protocol="hermes",
+        num_replicas=3,
+        shards=2,
+        write_ratio=0.2,
+        txn_fraction=0.0,
+        num_keys=24,
+        clients_per_replica=2,
+        ops_per_client=60,
+        max_sim_time=0.030,
+        events=[
+            FailureEvent.crash(1e-4, 1),
+            FailureEvent.slow_node(1.5e-4, 2, 2.0),
+            FailureEvent.recover(8e-3, 1),
+        ],
+        migrations=[
+            PlannedMigration(at_time=4e-3, migration=ShardMigration(0, 1, stride=2, offset=0)),
+            PlannedMigration(at_time=12e-3, migration=ShardMigration(1, 0, stride=4, offset=1)),
+            PlannedMigration(at_time=20e-3, migration=ShardMigration(0, 1, stride=4, offset=2)),
+        ],
+        autoscale=True,
+    )
+
+    def oracle(candidate):
+        return (
+            candidate.autoscale
+            and any(p.migration.source == 1 for p in candidate.migrations)
+            and any(e.kind.value == "crash" for e in candidate.events)
+        )
+
+    assert oracle(schedule)
+    assert not is_one_minimal(schedule, oracle=oracle)
+    minimal = shrink_schedule(schedule, oracle=oracle, coarsen=False)
+    assert oracle(minimal)
+    assert is_one_minimal(minimal, oracle=oracle)
+    assert [e.kind.value for e in minimal.events] == ["crash"]
+    assert len(minimal.migrations) == 1
+    assert minimal.migrations[0].migration == ShardMigration(1, 0, stride=4, offset=1)
+    assert minimal.autoscale, "shrinking dropped the autoscale cell flag"
+    outcome = run_trial(minimal)
+    assert outcome.ok, outcome.violations
 
 
 def test_shrinker_coarsens_times_and_parameters():

@@ -1,0 +1,147 @@
+"""Shared rebalance slice planning: the figure/autoscaler arithmetic.
+
+``cluster/rebalance_plan.py`` is the single source of truth for which keys
+a planned :class:`~repro.membership.view.ShardMigration` moves — the bench
+figure, the autoscaler and the router-mirroring helpers must all agree with
+:func:`repro.cluster.sharding.migration_predicate` and with
+:meth:`repro.cluster.sharding.ShardRouter.shard_of`. These tests pin that
+agreement and the chained-stride arithmetic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.rebalance_plan import (
+    default_target,
+    owner_at,
+    plan_migration,
+    routed_shard,
+)
+from repro.cluster.sharding import ShardRouter, migration_predicate
+from repro.errors import ConfigurationError
+from repro.membership.view import SHARD_MAP_ACTIVE, ShardMap, ShardMigration
+
+
+# -------------------------------------------------------------- default_target
+def test_default_target_is_half_way_around():
+    # The exact formula figure_migrate has always used.
+    assert default_target(0, 4) == 2
+    assert default_target(1, 4) == 3
+    assert default_target(3, 4) == 1
+    assert default_target(0, 2) == 1
+    assert default_target(2, 5) == 4
+    assert default_target(4, 5) == 1
+
+
+def test_default_target_rejects_single_shard():
+    with pytest.raises(ConfigurationError):
+        default_target(0, 1)
+
+
+# -------------------------------------------------------------- plan_migration
+def test_plan_with_no_prior_reproduces_operator_default():
+    migration = plan_migration(0, 4)
+    assert migration == ShardMigration(source=0, target=2, stride=2, offset=0)
+
+
+def test_plan_chained_strides_halve_the_remaining_slice():
+    # Splitting the same source repeatedly: half, then half of the
+    # remainder, and so on. Offsets pick the largest surviving residue
+    # class (smallest offset on ties).
+    chain = []
+    expected = [(2, 0), (4, 1), (8, 3), (16, 7)]
+    for stride, offset in expected:
+        migration = plan_migration(0, 4, prior=chain, target=2)
+        assert (migration.stride, migration.offset) == (stride, offset)
+        chain.append(migration)
+
+
+def test_plan_against_foreign_prior_still_splits_source_range():
+    # A prior migration of a *different* shard does not shrink shard 0's
+    # slice, but it does coarsen the stride grid (stride = 2 * lcm).
+    prior = [ShardMigration(source=1, target=3, stride=2, offset=1)]
+    migration = plan_migration(0, 4, prior=prior, target=2)
+    assert migration.source == 0 and migration.target == 2
+    assert migration.stride == 4
+    # Both residues 0 and 2 route to shard 0; smallest offset wins.
+    assert migration.offset == 0
+
+
+def test_plan_returns_none_when_source_fully_drained():
+    # Move shard 0's entire range away (stride 1 matches every sub-index);
+    # there is nothing left to split.
+    prior = [ShardMigration(source=0, target=1, stride=1, offset=0)]
+    assert plan_migration(0, 2, prior=prior) is None
+
+
+def test_plan_targets_keys_routed_to_source_not_based_there():
+    # After 0 -> 2 (evens), shard 2 serves its own base range plus the
+    # migrated keys; a plan splitting shard 2 must select a residue class
+    # that routes to 2 today.
+    prior = [ShardMigration(source=0, target=2, stride=2, offset=0)]
+    migration = plan_migration(2, 4, prior=prior, target=1)
+    predicate = migration_predicate(migration, 4, tuple(prior))
+    moved = [key for key in range(160) if predicate(key)]
+    assert moved, "planned slice must be non-empty"
+    for key in moved:
+        assert routed_shard(key, 4, prior) == 2
+
+
+def test_plan_validates_source_and_target():
+    with pytest.raises(ConfigurationError):
+        plan_migration(7, 4)
+    with pytest.raises(ConfigurationError):
+        plan_migration(0, 4, target=0)
+    with pytest.raises(ConfigurationError):
+        plan_migration(0, 4, target=9)
+    assert plan_migration(0, 1) is None
+
+
+# ------------------------------------------------- predicate/router agreement
+def test_planned_slices_agree_with_router_and_predicate():
+    # Drive three chained plans; at every step the planner's notion of the
+    # moved slice must match migration_predicate (what freeze/copy uses)
+    # and the router's post-flip owner (what clients see).
+    num_shards = 4
+    chain = []
+    router = ShardRouter(num_shards)
+    epoch = 1
+    for source, target in ((0, 2), (2, 1), (0, 3)):
+        migration = plan_migration(source, num_shards, prior=chain, target=target)
+        predicate = migration_predicate(migration, num_shards, tuple(chain))
+        before = {key: routed_shard(key, num_shards, chain) for key in range(320)}
+        chain.append(migration)
+        epoch += 2
+        router.apply(
+            ShardMap(epoch=epoch, migrations=tuple(chain), phase=SHARD_MAP_ACTIVE)
+        )
+        for key in range(320):
+            if predicate(key):
+                assert before[key] == source
+                assert router.shard_of(key) == target
+            else:
+                assert router.shard_of(key) == routed_shard(key, num_shards, chain)
+
+
+# ------------------------------------------------------------------- owner_at
+def test_owner_at_applies_only_flipped_prefix():
+    m1 = ShardMigration(source=0, target=2, stride=2, offset=0)
+    m2 = ShardMigration(source=2, target=1, stride=1, offset=0)
+    flips = [(m1, 0.050), (m2, 0.120)]
+    # Key 0: base shard 0, sub-index 0 — moved by m1, then swept up by m2.
+    assert owner_at(0, 4, flips, 0.010) == 0
+    assert owner_at(0, 4, flips, 0.050) == 2  # flip boundary is inclusive
+    assert owner_at(0, 4, flips, 0.119) == 2
+    assert owner_at(0, 4, flips, 0.200) == 1
+    # Key 4 (sub-index 1, odd) never migrates.
+    for t in (0.0, 0.06, 0.2):
+        assert owner_at(4, 4, flips, t) == 0
+
+
+def test_owner_at_matches_routed_shard_after_all_flips():
+    m1 = ShardMigration(source=1, target=3, stride=2, offset=1)
+    m2 = ShardMigration(source=3, target=0, stride=4, offset=2)
+    flips = [(m1, 0.020), (m2, 0.040)]
+    for key in range(200):
+        assert owner_at(key, 4, flips, 1.0) == routed_shard(key, 4, [m1, m2])

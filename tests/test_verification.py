@@ -169,6 +169,26 @@ def test_checker_reports_operation_counts():
     assert result.explored_states >= 1
 
 
+def test_deep_single_key_history_does_not_overflow_recursion():
+    # Zipfian hot keys produce thousands of operations on one key; the
+    # checker's search must be iterative — the old recursive formulation
+    # hit the interpreter recursion limit around a depth of 1000.
+    history = History()
+    time = 0.0
+    last = None
+    for i in range(1500):
+        if i % 3 == 0:
+            op = Operation.write("hot", i)
+            record(history, op, time, time + 0.5, result=i)
+            last = i
+        else:
+            record(history, Operation.read("hot"), time, time + 0.5, result=last)
+        time += 1.0
+    result = LinearizabilityChecker().check(history)[0]
+    assert result.linearizable
+    assert result.operations == 1500
+
+
 @given(st.lists(st.integers(0, 5), min_size=1, max_size=8))
 def test_any_serial_history_of_writes_then_reads_is_linearizable(values):
     history = History()
