@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Measure the aggregated client model's wall-clock headline number.
+
+The metric is **simulated users served per wall-clock second**: how many
+synthetic sessions a run represents, divided by how long the host takes to
+simulate it. The per-session model allocates one client object (and one
+arrival event chain) per session, so its wall cost grows linearly with the
+population; the aggregated model's cost is bounded by the *op budget*, so
+its users/sec grows with the population instead.
+
+Two measurements, both at smoke scale:
+
+* **aggregated**: the ``usersweep`` figure's largest cell — 10^6 sessions
+  across 64 parallel shards, one open-loop aggregated generator per node.
+* **per-session**: the classic one-object-per-session open-loop model at
+  10^4 sessions (2000 clients on each of 5 nodes — already far beyond its
+  comfortable range; 10^6 per-session objects would take hours, which is
+  the point of the aggregated model).
+
+Prints both rates and their ratio. The PR's acceptance bar is a >= 50x
+ratio. Wall-clock numbers are machine-dependent, which is why this lives
+in a script instead of the byte-deterministic figure artifact.
+
+Usage::
+
+    PYTHONPATH=src python scripts/usersweep_speedup.py [--jobs N]
+
+No dependencies beyond the standard library (repo no-install policy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench.experiments import USER_SWEEP_OFFERED_LOAD  # noqa: E402
+from repro.bench.harness import ExperimentSpec, Scale  # noqa: E402
+from repro.bench.runner import run_specs  # noqa: E402
+
+AGGREGATED_SESSIONS = 1_000_000
+AGGREGATED_SHARDS = 64
+PER_SESSION_SESSIONS = 10_000
+
+
+def _base_spec(scale: Scale) -> ExperimentSpec:
+    return ExperimentSpec(
+        protocol="hermes",
+        write_ratio=0.05,
+        zipfian_exponent=0.99,
+        label="usersweep-speedup",
+        seed=1,
+    ).with_scale(scale)
+
+
+def measure(spec: ExperimentSpec, sessions: int, jobs: int) -> float:
+    """Run ``spec`` once and return simulated users per wall-clock second."""
+    start = time.perf_counter()
+    run_specs([spec], jobs=jobs)
+    elapsed = time.perf_counter() - start
+    return sessions / elapsed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the parallel-shard aggregated run "
+        "(default: all cores)",
+    )
+    args = parser.parse_args(argv)
+    scale = Scale.smoke()
+
+    aggregated = replace(
+        _base_spec(scale),
+        client_model="aggregated",
+        sessions=AGGREGATED_SESSIONS,
+        offered_load=USER_SWEEP_OFFERED_LOAD,
+        shards=AGGREGATED_SHARDS,
+        shard_mode="parallel",
+    )
+    agg_rate = measure(aggregated, AGGREGATED_SESSIONS, jobs=args.jobs)
+
+    # Per-session open loop: one client object per session, spread over the
+    # default 5 nodes; the op budget per session shrinks so the total
+    # simulated work stays comparable to one aggregated cell.
+    per_node = PER_SESSION_SESSIONS // 5
+    per_session = replace(
+        _base_spec(scale),
+        client_model="open",
+        clients_per_replica=per_node,
+        ops_per_client=max(1, (scale.clients_per_replica * scale.ops_per_client) // per_node),
+        offered_load=USER_SWEEP_OFFERED_LOAD,
+    )
+    base_rate = measure(per_session, PER_SESSION_SESSIONS, jobs=1)
+
+    ratio = agg_rate / base_rate
+    print(f"{'model':<14} {'sessions':>10} {'users/wall-sec':>16}")
+    print(f"{'aggregated':<14} {AGGREGATED_SESSIONS:>10,} {agg_rate:>16,.0f}")
+    print(f"{'per-session':<14} {PER_SESSION_SESSIONS:>10,} {base_rate:>16,.0f}")
+    print(f"speedup: {ratio:,.1f}x (acceptance bar: >= 50x)")
+    return 0 if ratio >= 50.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,7 +26,12 @@ D002      draws from the process-global ``random`` module (``random.random``,
           ``os.urandom`` anywhere outside ``sim/rng.py`` — all randomness
           must come from seeded ``random.Random`` streams
           (:class:`repro.sim.rng.SeededRNG`). Constructing a seeded
-          ``random.Random(seed)`` is allowed everywhere.
+          ``random.Random(seed)`` is allowed everywhere **except** the
+          aggregated-workload modules (``workloads/aggregate*``), where the
+          rule is strict: even seeded ``random.Random`` construction is
+          flagged, because per-session generator seeding must flow from
+          ``sim/rng.py`` streams (``SeededRNG.stream()``/``child()``) to
+          keep million-session keying fold-stable.
 D003      iteration over an unordered collection (``set``/``frozenset``
           values, ``.keys()`` of sets-of-keys idioms, set algebra results)
           inside ``protocols/``/``membership/``/``cluster/`` handlers whose
@@ -95,6 +100,17 @@ ORDER_ZONE_DIRS = {"protocols", "membership", "cluster"}
 
 #: File allowed to touch the global ``random`` module (D002 exemption).
 RNG_MODULE_SUFFIX = "sim/rng.py"
+
+#: Strict D002 zone: aggregated-workload modules (a ``workloads`` path
+#: segment and a basename starting with this prefix) may not construct even
+#: *seeded* ``random.Random`` instances — session streams must derive from
+#: :class:`repro.sim.rng.SeededRNG`, keeping per-session keying fold-stable
+#: and per-session RNG-object allocation out of the million-session path.
+STRICT_RNG_DIRS = {"workloads"}
+STRICT_RNG_PREFIX = "aggregate"
+
+#: ``random`` names whose construction the strict zone forbids.
+STRICT_RNG_CONSTRUCTORS = {"Random", "SystemRandom"}
 
 #: Wall-clock callables, resolved against import aliases (D001).
 WALL_CLOCK_ATTRS = {
@@ -299,6 +315,9 @@ class _FileLinter(ast.NodeVisitor):
         self.in_sim_zone = bool(parts & SIM_ZONE_DIRS)
         self.in_order_zone = bool(parts & ORDER_ZONE_DIRS)
         self.is_rng_module = display_path.endswith(RNG_MODULE_SUFFIX)
+        self.in_strict_rng_zone = bool(parts & STRICT_RNG_DIRS) and Path(
+            display_path
+        ).name.startswith(STRICT_RNG_PREFIX)
         self.aliases = _Aliases()
         self.findings: List[Finding] = []
         self.classes: Dict[str, _ClassFacts] = {}
@@ -350,6 +369,14 @@ class _FileLinter(ast.NodeVisitor):
                         "random stream; draw from a seeded random.Random "
                         "(see repro.sim.rng.SeededRNG)",
                     )
+                elif self.in_strict_rng_zone and alias.name in STRICT_RNG_CONSTRUCTORS:
+                    self._add(
+                        "D002",
+                        node,
+                        f"'from random import {alias.name}' in an aggregated-workload "
+                        "module; session streams must derive from "
+                        "repro.sim.rng.SeededRNG (stream()/child())",
+                    )
         self.generic_visit(node)
 
     # ------------------------------------------------------ name resolution
@@ -377,6 +404,18 @@ class _FileLinter(ast.NodeVisitor):
                     node,
                     f"'{dotted}' draws from the process-global random stream; "
                     "use a seeded random.Random (see repro.sim.rng.SeededRNG)",
+                )
+            elif (
+                self.in_strict_rng_zone
+                and dotted.startswith("random.")
+                and dotted.split(".", 1)[1] in STRICT_RNG_CONSTRUCTORS
+            ):
+                self._add(
+                    "D002",
+                    node,
+                    f"'{dotted}' construction in an aggregated-workload module; "
+                    "session streams must derive from repro.sim.rng.SeededRNG "
+                    "(stream()/child())",
                 )
 
     def visit_Attribute(self, node: ast.Attribute) -> None:

@@ -19,7 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
 from repro.analysis.stats import throughput_timeseries
-from repro.bench.harness import ExperimentResult, ExperimentSpec, Scale
+from repro.bench.harness import ExperimentResult, ExperimentSpec, Scale, build_workload
 from repro.cluster.client import ClosedLoopClient
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.failures import FailureEvent, FailureInjector
@@ -1664,4 +1664,126 @@ def ablation_wings_batching(
         result.rows.append(
             [label, f"{run.throughput:,.0f}", run.cluster_stats["messages_sent"]]
         )
+    return result
+
+
+#: Session populations swept by the user-count figure.
+USER_SWEEP_SESSIONS: Tuple[int, ...] = (1_000, 10_000, 100_000, 1_000_000)
+
+#: Shard counts swept by the user-count figure (parallel execution: each
+#: shard owns a dedicated simulation over its key partition).
+USER_SWEEP_SHARD_COUNTS: Tuple[int, ...] = (8, 16, 32, 64)
+
+#: Aggregate offered load (operations per simulated second) held fixed
+#: across every usersweep cell, so delivered throughput and latency isolate
+#: the session-count and shard-count axes.
+USER_SWEEP_OFFERED_LOAD: float = 2.0e6
+
+
+def figure_usersweep(
+    scale: Optional[Scale] = None,
+    protocol: str = "hermes",
+    session_counts: Sequence[int] = USER_SWEEP_SESSIONS,
+    shard_counts: Sequence[int] = USER_SWEEP_SHARD_COUNTS,
+    write_ratio: float = 0.05,
+    zipfian_exponent: Optional[float] = 0.99,
+    seed: int = 1,
+    jobs: Optional[int] = None,
+) -> FigureResult:
+    """Million-session sweep on the aggregated client model.
+
+    Sweeps the synthetic session population against the shard count with
+    one open-loop :class:`~repro.cluster.client.AggregatedClient` generator
+    per node (``client_model="aggregated"``) and parallel shard execution.
+    The simulated *work* per cell is fixed by the scale preset
+    (``clients_per_replica * ops_per_client`` operations per node), so a
+    10^6-session cell costs the same simulation effort as a 10^3-session
+    one — the point of the aggregated model, and what makes "millions of
+    users" a smoke-scale run. Every cell records a history and stamps the
+    full ``check_all`` verdict into the artifact: scaling the population
+    must not cost protocol fidelity.
+
+    Wall-clock throughput (simulated users served per second of real time,
+    the PR's headline number) is deliberately *not* written into the
+    artifact — artifacts are byte-deterministic at any ``--jobs`` — and is
+    measured separately by ``scripts/usersweep_speedup.py``.
+    """
+    scale = scale or Scale.default()
+    cells = []
+    for sessions in session_counts:
+        for shards in shard_counts:
+            spec = replace(
+                ExperimentSpec(
+                    protocol=protocol,
+                    write_ratio=write_ratio,
+                    zipfian_exponent=zipfian_exponent,
+                    label="usersweep",
+                    record_history=True,
+                ).with_scale(scale),
+                client_model="aggregated",
+                sessions=sessions,
+                offered_load=USER_SWEEP_OFFERED_LOAD,
+                shards=shards,
+                shard_mode="parallel",
+            )
+            cells.append(((sessions, shards), spec))
+    runs = run_cells(cells, root_seed=seed, jobs=jobs, keep_results=True)
+
+    from repro.verification import check_all
+
+    # The preloaded dataset is seed-independent (values are factory(key, 0)),
+    # so one workload instance serves every cell's checker.
+    initial_values = build_workload(cells[0][1]).initial_dataset()
+    result = FigureResult(
+        figure=f"User sweep ({protocol}, aggregated client model, "
+        f"zipfian {zipfian_exponent}, {write_ratio:.0%} writes)",
+        headers=[
+            "sessions",
+            "shards",
+            "delivered_ops_s",
+            "median_us",
+            "p99_us",
+            "completed_ops",
+            "check_all_ok",
+        ],
+        notes=(
+            "one aggregated generator per node stands in for sessions/"
+            "num_replicas sessions (merged Poisson arrivals at "
+            f"{USER_SWEEP_OFFERED_LOAD:,.0f} ops/s aggregate); simulation "
+            "cost is bounded by the scale preset's op budget, independent "
+            "of the session count; check_all verdicts cover every cell's "
+            "merged per-shard history; wall-clock users/sec is measured by "
+            "scripts/usersweep_speedup.py (not stored: artifacts are "
+            "byte-deterministic)"
+        ),
+    )
+    all_ok = True
+    for sessions in session_counts:
+        for shards in shard_counts:
+            run = runs[(sessions, shards)]
+            report = check_all(run.history, initial_values=initial_values)
+            all_ok = all_ok and report.ok
+            result.data[(sessions, shards)] = {
+                "sessions": sessions,
+                "shards": shards,
+                "offered_ops_s": USER_SWEEP_OFFERED_LOAD,
+                "delivered_ops_s": run.throughput,
+                "completed_ops": len(run.results),
+                "median_us": run.overall_latency.median * 1e6,
+                "p99_us": run.overall_latency.p99 * 1e6,
+                "check_all_ok": report.ok,
+                "checks": report.summary(),
+            }
+            result.rows.append(
+                [
+                    sessions,
+                    shards,
+                    f"{run.throughput:,.0f}",
+                    f"{run.overall_latency.median * 1e6:.2f}",
+                    f"{run.overall_latency.p99 * 1e6:.2f}",
+                    len(run.results),
+                    report.ok,
+                ]
+            )
+    result.notes += f"; all cells check_all_ok={all_ok}"
     return result

@@ -24,7 +24,15 @@ from typing import Dict, List, Optional, Sequence
 import random
 
 from repro.analysis.stats import LatencySummary, latency_summary, throughput
-from repro.cluster.client import ClientSession, ClosedLoopClient, OpenLoopClient, run_clients
+from repro.cluster.client import (
+    CLIENT_LATENCY_JITTER,
+    DEFAULT_REQUEST_LATENCY,
+    AggregatedClient,
+    ClientSession,
+    ClosedLoopClient,
+    OpenLoopClient,
+    run_clients,
+)
 from repro.cluster.cluster import Cluster, ClusterConfig
 from repro.cluster.failures import FailureEvent, FailureInjector
 from repro.cluster.sharding import ShardRouter
@@ -34,8 +42,14 @@ from repro.membership.service import MembershipConfig, MigrationRecord, PlannedM
 from repro.protocols.base import ReplicaConfig
 from repro.protocols.derecho import DerechoConfig
 from repro.sim.node import ServiceTimeModel
+from repro.sim.rng import SeededRNG
 from repro.types import OperationResult, OpType
 from repro.verification.history import History
+from repro.workloads.aggregate import (
+    ScheduleEntry,
+    materialize_open_schedule,
+    split_sessions,
+)
 from repro.workloads.distributions import UniformKeys, ZipfianKeys
 from repro.workloads.generator import ScriptedOps, WorkloadMix
 
@@ -89,11 +103,30 @@ class ExperimentSpec:
         value_size: Written value size in bytes.
         clients_per_replica: Client sessions per replica.
         ops_per_client: Operations per session.
-        client_model: ``"closed"`` (one outstanding request per session) or
-            ``"open"`` (Poisson arrivals at a fixed offered load).
+        client_model: ``"closed"`` (one outstanding request per session),
+            ``"open"`` (Poisson arrivals at a fixed offered load), or
+            ``"aggregated"`` (one
+            :class:`~repro.cluster.client.AggregatedClient` generator per
+            node statistically standing in for ``sessions`` sessions —
+            open loop when ``offered_load`` is set, closed loop with
+            ``session_think_time`` otherwise).
         offered_load: Aggregate offered load in operations per simulated
-            second, split evenly across all open-loop sessions. Required
-            when ``client_model == "open"``; ignored for closed loops.
+            second, split evenly across all open-loop sessions (or across
+            the per-node aggregated generators). Required when
+            ``client_model == "open"``; ignored for closed loops.
+        sessions: Synthetic session population for
+            ``client_model == "aggregated"`` (split across the per-node
+            generators). ``0`` — the identity-neutral default — falls back
+            to ``num_replicas * clients_per_replica``, the population the
+            per-session models simulate. The simulated *work* is bounded by
+            ``clients_per_replica * ops_per_client`` operations per node
+            regardless of the session count, which is what lets a smoke run
+            model 10^6 users.
+        session_think_time: Mean per-session think time in simulated
+            seconds for closed-loop aggregated experiments (each completion
+            rechains its session's next request one think time later).
+            Ignored — and identity-neutral at ``0.0`` — for every other
+            client model.
         shards: Number of key-range shards (independent protocol groups).
             ``1`` is the classic unsharded deployment.
         txn_fraction: Fraction of client requests that are multi-key
@@ -157,6 +190,8 @@ class ExperimentSpec:
     ops_per_client: int = 220
     client_model: str = "closed"
     offered_load: Optional[float] = None
+    sessions: int = 0
+    session_think_time: float = 0.0
     shards: int = 1
     shard_mode: str = "coupled"
     txn_fraction: float = 0.0
@@ -271,14 +306,57 @@ def build_workload(spec: ExperimentSpec) -> WorkloadMix:
     )
 
 
+def aggregated_sessions(spec: ExperimentSpec) -> int:
+    """The synthetic session population of an aggregated-model spec."""
+    return spec.sessions or spec.num_replicas * spec.clients_per_replica
+
+
+def _build_aggregated_clients(
+    spec: ExperimentSpec, cluster: Cluster, workload: WorkloadMix, history: Optional[History]
+) -> List[ClientSession]:
+    """One AggregatedClient generator per node, sessions split across them.
+
+    The per-node operation budget matches the per-session models
+    (``clients_per_replica * ops_per_client``), so matched-load comparisons
+    against ``client_model="open"`` complete the same operation count.
+    """
+    node_ids = cluster.node_ids
+    session_counts = split_sessions(aggregated_sessions(spec), len(node_ids))
+    ops_budget = spec.clients_per_replica * spec.ops_per_client
+    open_loop = bool(spec.offered_load)
+    clients: List[ClientSession] = []
+    base = 0
+    for index, node_id in enumerate(node_ids):
+        clients.append(
+            AggregatedClient(
+                client_id=index,
+                cluster=cluster,
+                workload=workload,
+                sessions=session_counts[index],
+                max_ops=ops_budget,
+                rate=spec.offered_load / len(node_ids) if open_loop else None,
+                think_time=spec.session_think_time,
+                replica_id=node_id,
+                history=history,
+                session_base=base,
+                rng=SeededRNG(spec.seed).child(f"aggregated-node-{index}"),
+            )
+        )
+        base += session_counts[index]
+    return clients
+
+
 def build_clients(
     spec: ExperimentSpec, cluster: Cluster, workload: WorkloadMix, history: Optional[History]
 ) -> List[ClientSession]:
     """Construct the client sessions described by an experiment spec."""
-    if spec.client_model not in ("closed", "open"):
+    if spec.client_model not in ("closed", "open", "aggregated"):
         raise BenchmarkError(
-            f"unknown client_model {spec.client_model!r}; options: 'closed', 'open'"
+            f"unknown client_model {spec.client_model!r}; "
+            "options: 'closed', 'open', 'aggregated'"
         )
+    if spec.client_model == "aggregated":
+        return _build_aggregated_clients(spec, cluster, workload, history)
     open_loop = spec.client_model == "open"
     if open_loop:
         if not spec.offered_load or spec.offered_load <= 0:
@@ -385,11 +463,33 @@ def _validate_spec(spec: ExperimentSpec) -> None:
         raise BenchmarkError(
             f"unknown shard_mode {spec.shard_mode!r}; options: {SHARD_MODES}"
         )
-    if spec.shards > 1 and spec.shard_mode == "parallel" and spec.client_model != "closed":
+    if spec.client_model not in ("closed", "open", "aggregated"):
         raise BenchmarkError(
-            "parallel shard execution supports closed-loop clients only; "
-            "use shard_mode='coupled' for open-loop sharded experiments"
+            f"unknown client_model {spec.client_model!r}; "
+            "options: 'closed', 'open', 'aggregated'"
         )
+    if spec.client_model == "aggregated":
+        if spec.sessions < 0:
+            raise BenchmarkError("sessions must be >= 0")
+        if not spec.offered_load and spec.session_think_time <= 0:
+            raise BenchmarkError(
+                "aggregated experiments need an offered_load (open loop) or "
+                "a positive session_think_time (closed loop)"
+            )
+    elif spec.sessions:
+        raise BenchmarkError(
+            "the sessions knob requires client_model='aggregated' "
+            "(per-session models simulate num_replicas * clients_per_replica "
+            "sessions)"
+        )
+    if spec.shards > 1 and spec.shard_mode == "parallel":
+        aggregated_open = spec.client_model == "aggregated" and bool(spec.offered_load)
+        if spec.client_model != "closed" and not aggregated_open:
+            raise BenchmarkError(
+                "parallel shard execution supports closed-loop clients and "
+                "open-loop aggregated generators only; use "
+                "shard_mode='coupled' for other sharded experiments"
+            )
     if not 0.0 <= spec.txn_fraction <= 1.0:
         raise BenchmarkError("txn_fraction must be within [0, 1]")
     if spec.txn_fraction > 0 and spec.shards > 1 and spec.shard_mode == "parallel":
@@ -451,6 +551,39 @@ def derive_shard_seed(spec: ExperimentSpec, shard: int) -> int:
     return int.from_bytes(digest[:4], "big") % (2**31 - 1) + 1
 
 
+def _aggregated_schedules(
+    spec: ExperimentSpec, workload: WorkloadMix
+) -> List[List[ScheduleEntry]]:
+    """Materialize every generator's *unsharded* open-loop timed schedule.
+
+    Seed derivation (one :class:`SeededRNG` child per node index) matches
+    :func:`_build_aggregated_clients` exactly, so a parallel-sharded run
+    replays the very op stream — same times, keys, latencies — a coupled
+    run of the same spec would draw live.
+    """
+    session_counts = split_sessions(aggregated_sessions(spec), spec.num_replicas)
+    ops_budget = spec.clients_per_replica * spec.ops_per_client
+    assert spec.offered_load  # _validate_spec: parallel aggregated is open-loop
+    rate_per_node = spec.offered_load / spec.num_replicas
+    schedules: List[List[ScheduleEntry]] = []
+    base = 0
+    for index in range(spec.num_replicas):
+        schedules.append(
+            materialize_open_schedule(
+                workload,
+                sessions=session_counts[index],
+                total_ops=ops_budget,
+                rate=rate_per_node,
+                rng=SeededRNG(spec.seed).child(f"aggregated-node-{index}"),
+                session_base=base,
+                request_latency=DEFAULT_REQUEST_LATENCY,
+                jitter=CLIENT_LATENCY_JITTER,
+            )
+        )
+        base += session_counts[index]
+    return schedules
+
+
 def run_shard_experiment(spec: ExperimentSpec, shard: int) -> ExperimentResult:
     """Run one shard of a parallel-sharded experiment as its own simulation.
 
@@ -458,21 +591,29 @@ def run_shard_experiment(spec: ExperimentSpec, shard: int) -> ExperimentResult:
     the scale-out model where every shard owns its resources. Its clients
     replay exactly the operations of the *unsharded* request stream whose
     keys the shard owns, so per-shard runs compose: summed over shards, the
-    operation stream is invariant under the shard count.
+    operation stream is invariant under the shard count. Aggregated-model
+    specs replay the generators' materialized timed schedules the same way.
     """
     _validate_spec(spec)
     router = ShardRouter(spec.shards)
     base_workload = build_workload(spec)
     total_sessions = spec.num_replicas * spec.clients_per_replica
     shard_of = router.shard_of
-    scripts = {
-        client_id: [
-            op
-            for op in base_workload.stream(client_id, spec.ops_per_client)
-            if shard_of(op.key) == shard
+    aggregated = spec.client_model == "aggregated"
+    if aggregated:
+        shard_schedules = [
+            [entry for entry in schedule if shard_of(entry[3].key) == shard]
+            for schedule in _aggregated_schedules(spec, base_workload)
         ]
-        for client_id in range(total_sessions)
-    }
+    else:
+        scripts = {
+            client_id: [
+                op
+                for op in base_workload.stream(client_id, spec.ops_per_client)
+                if shard_of(op.key) == shard
+            ]
+            for client_id in range(total_sessions)
+        }
     shard_seed = derive_shard_seed(spec, shard)
     sub_spec = replace(spec, seed=shard_seed, shards=1, shard_mode="coupled")
     cluster = build_cluster(sub_spec)
@@ -484,22 +625,41 @@ def run_shard_experiment(spec: ExperimentSpec, shard: int) -> ExperimentResult:
     cluster.preload(dataset)
 
     history = History() if spec.record_history else None
-    scripted = ScriptedOps(scripts, seed=shard_seed)
     clients: List[ClientSession] = []
-    client_id = 0
-    for node_id in cluster.node_ids:
-        for _ in range(spec.clients_per_replica):
+    if aggregated:
+        session_counts = split_sessions(aggregated_sessions(spec), spec.num_replicas)
+        base = 0
+        for index, node_id in enumerate(cluster.node_ids):
             clients.append(
-                ClosedLoopClient(
-                    client_id=client_id,
+                AggregatedClient(
+                    client_id=index,
                     cluster=cluster,
-                    workload=scripted,
-                    max_ops=scripted.ops_for(client_id),
+                    workload=base_workload,
+                    sessions=session_counts[index],
+                    max_ops=0,  # scripted mode: the schedule is the budget
                     replica_id=node_id,
                     history=history,
+                    session_base=base,
+                    schedule=shard_schedules[index],
                 )
             )
-            client_id += 1
+            base += session_counts[index]
+    else:
+        scripted = ScriptedOps(scripts, seed=shard_seed)
+        client_id = 0
+        for node_id in cluster.node_ids:
+            for _ in range(spec.clients_per_replica):
+                clients.append(
+                    ClosedLoopClient(
+                        client_id=client_id,
+                        cluster=cluster,
+                        workload=scripted,
+                        max_ops=scripted.ops_for(client_id),
+                        replica_id=node_id,
+                        history=history,
+                    )
+                )
+                client_id += 1
 
     duration = run_clients(cluster, clients, max_time=spec.max_sim_time)
     return _reduce_run(sub_spec, cluster, clients, duration, history)

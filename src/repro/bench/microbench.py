@@ -10,6 +10,10 @@ isolation with three synthetic workloads plus one end-to-end experiment:
   pattern: each completion immediately schedules the next issue).
 * ``timers-cancel``: arm a timeout per event and cancel 90% of them before
   they fire (the retransmission-timer pattern; stresses lazy cancellation).
+* ``aggregate-arrivals``: the aggregated-client hot loop in isolation —
+  batched merged-Poisson arrival draws plus per-session operation synthesis
+  (:mod:`repro.workloads.aggregate`), no protocol or engine. This is the
+  per-op cost floor of the million-session client model.
 * ``experiment``: a small Hermes run via :func:`repro.bench.harness.run_experiment`,
   reported as simulator events per wall-clock second.
 
@@ -82,6 +86,35 @@ def _bench_timers_cancel(num_events: int) -> Tuple[int, float]:
     return num_events, elapsed
 
 
+def _bench_aggregate_arrivals(num_events: int) -> Tuple[int, float]:
+    from repro.sim.rng import SeededRNG
+    from repro.workloads.aggregate import AggregateArrivals, AggregateWorkload
+    from repro.workloads.generator import WorkloadMix
+
+    mix = WorkloadMix.uniform(1000, write_ratio=0.2, seed=11)
+    arrivals = AggregateArrivals(
+        sessions=1_000_000,
+        aggregate_rate=1.0e6,
+        rng=SeededRNG(11).child("microbench"),
+        request_latency=50e-6,
+        jitter=0.1,
+    )
+    workload = AggregateWorkload(mix)
+    sink = []
+    append = sink.append
+    start = time.perf_counter()
+    produced = 0
+    clock = 0.0
+    while produced < num_events:
+        batch = arrivals.draw(clock, min(256, num_events - produced))
+        for issue_time, _request_lat, _response_lat, session in batch:
+            append(workload.next_operation(session))
+        clock = batch[-1][0]
+        produced += len(batch)
+    elapsed = time.perf_counter() - start
+    return produced, elapsed
+
+
 def _bench_experiment() -> Tuple[int, float]:
     from repro.bench.harness import ExperimentSpec, run_experiment
 
@@ -104,6 +137,7 @@ BENCHES: List[Tuple[str, Callable[[int], Tuple[int, float]]]] = [
     ("schedule-run", _bench_schedule_run),
     ("chain", _bench_chain),
     ("timers-cancel", _bench_timers_cancel),
+    ("aggregate-arrivals", _bench_aggregate_arrivals),
 ]
 
 

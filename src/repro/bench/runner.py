@@ -85,6 +85,8 @@ _IDENTITY_NEUTRAL_DEFAULTS: Dict[str, Any] = {
     "migrations": (),
     "membership": None,
     "allow_incomplete": False,
+    "sessions": 0,
+    "session_think_time": 0.0,
 }
 
 _MISSING = object()
@@ -563,6 +565,7 @@ def _figure_functions() -> Dict[str, List[Callable[..., Any]]]:
         "shardskew": [gridded(exp.figure_shard_scale_skew)],
         "txn": [gridded(exp.figure_txn)],
         "txngrid": [gridded(exp.figure_txn_grid)],
+        "usersweep": [gridded(exp.figure_usersweep)],
     }
 
 
@@ -643,8 +646,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         dest="figures",
         metavar="FIG",
         help="figure to run: 5, 6, 7, 8, 9, migrate, flashcrowd, table2, "
-        "ablations, openloop, rmw, shardscale, shardskew, txn, or all "
-        "(repeatable; default: all)",
+        "ablations, openloop, rmw, shardscale, shardskew, txn, txngrid, "
+        "usersweep, or all (repeatable; default: all)",
     )
     parser.add_argument(
         "--scale",

@@ -1,6 +1,6 @@
 """Client sessions driving a replicated deployment.
 
-Two client models are provided:
+Three client models are provided:
 
 * :class:`ClosedLoopClient` — issues the next request only after the previous
   one completed (optionally with think time). Sweeping the number of
@@ -10,6 +10,11 @@ Two client models are provided:
   produced.
 * :class:`OpenLoopClient` — issues requests at a fixed Poisson arrival rate
   regardless of completions, modelling external load.
+* :class:`AggregatedClient` — one generator per node statistically standing
+  in for up to millions of open- or closed-loop sessions (see
+  :mod:`repro.workloads.aggregate`): batched merged-Poisson arrival draws,
+  deterministic per-session keying, and a flat in-flight ring instead of
+  per-session objects.
 
 Clients are co-located with replicas, as in the paper's evaluation (§8
 discusses the external-client variant): each session is bound to one replica
@@ -24,7 +29,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.txn import ClientTxnSubmit, TxnOutcome, ops_wire_size
-from repro.errors import SimulationDeadlock
+from repro.errors import SimulationDeadlock, WorkloadError
+from repro.sim.rng import SeededRNG
 from repro.types import (
     NodeId,
     Operation,
@@ -35,6 +41,7 @@ from repro.types import (
     Value,
 )
 from repro.verification.history import History
+from repro.workloads.aggregate import AggregateArrivals, AggregateWorkload, ScheduleEntry
 from repro.workloads.generator import WorkloadMix
 
 
@@ -454,6 +461,340 @@ class OpenLoopClient(ClientSession):
         self._issue(self.workload.next_operation(self.client_id))
         gap = self._rng.expovariate(self.rate)
         self.cluster.sim.schedule(gap, self._arrival)
+
+
+class _InflightRing:
+    """Open-addressed in-flight context store keyed by op id.
+
+    Operation ids are globally increasing integers and an aggregated
+    generator keeps at most one arrival batch plus the operations in
+    service outstanding, so ``op_id & mask`` over a power-of-two table is
+    collision-free in steady state: one list store/clear per operation
+    replaces dict hashing. On the rare collision (e.g. entries leaked by
+    crash-dropped submissions) the table doubles, rehashing live entries.
+    """
+
+    __slots__ = ("_ids", "_ctx", "_mask", "size")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise ValueError("ring capacity must be a power of two")
+        self._ids: List[int] = [-1] * capacity
+        self._ctx: List[Optional[Tuple[float, float, int, int]]] = [None] * capacity
+        self._mask = capacity - 1
+        self.size = 0
+
+    def __contains__(self, op_id: int) -> bool:
+        return self._ids[op_id & self._mask] == op_id
+
+    def put(self, op_id: int, ctx: Tuple[float, float, int, int]) -> None:
+        """Store the completion context of one in-flight operation."""
+        slot = op_id & self._mask
+        if self._ids[slot] != -1:
+            self._grow(op_id)
+            slot = op_id & self._mask
+        self._ids[slot] = op_id
+        self._ctx[slot] = ctx
+        self.size += 1
+
+    def pop(self, op_id: int) -> Tuple[float, float, int, int]:
+        """Remove and return the context stored under ``op_id``."""
+        slot = op_id & self._mask
+        if self._ids[slot] != op_id:
+            raise KeyError(op_id)
+        self._ids[slot] = -1
+        ctx = self._ctx[slot]
+        self._ctx[slot] = None
+        self.size -= 1
+        assert ctx is not None
+        return ctx
+
+    def _grow(self, incoming_id: int) -> None:
+        live = [
+            (op_id, self._ctx[slot])
+            for slot, op_id in enumerate(self._ids)
+            if op_id != -1
+        ]
+        capacity = self._mask + 1
+        while True:
+            capacity *= 2
+            mask = capacity - 1
+            slots = {op_id & mask for op_id, _ in live}
+            if len(slots) == len(live) and (incoming_id & mask) not in slots:
+                break
+        ids: List[int] = [-1] * capacity
+        ctx: List[Optional[Tuple[float, float, int, int]]] = [None] * capacity
+        for op_id, entry in live:
+            ids[op_id & mask] = op_id
+            ctx[op_id & mask] = entry
+        self._ids, self._ctx, self._mask = ids, ctx, mask
+
+
+class AggregatedClient(ClientSession):
+    """One generator statistically standing in for ``sessions`` sessions.
+
+    Instead of one Python object per session, a single generator per node
+    draws the *merged* arrival schedule of its session population (see
+    :class:`repro.workloads.aggregate.AggregateArrivals`), synthesizes each
+    firing session's next operation deterministically (SHA-256-folded
+    session ids feeding the usual key distributions and txn steering), and
+    submits through the fused submit fast path. In-flight tracking is a
+    flat ring keyed by op id. Arrivals are pre-submitted one batch at a
+    time — one simulator "pump" event per ``batch`` operations instead of
+    one arrival event per operation.
+
+    Modes:
+
+    * open (``rate`` > 0): merged Poisson arrivals at the aggregate rate,
+      independent of completions.
+    * closed (``think_time`` > 0): an initial wave at rate
+      ``sessions / think_time`` (each session's first request after an
+      exponential-equivalent think), then each completion rechains that
+      session's next request one think time later — no per-session busy
+      state, a documented statistical approximation of N true closed loops.
+    * scripted (``schedule`` is not None): replays a materialized
+      ``(issue_time, request_lat, response_lat, op)`` schedule, used by
+      process-parallel shard execution (see
+      :func:`repro.workloads.aggregate.materialize_open_schedule`).
+
+    Crash handling mirrors the per-session sessions: a generator bound to a
+    crashed node *pauses* (no arrivals are drawn while it is down) and
+    resumes from the recovery instant on RECOVER — it does not accumulate a
+    backlog to burst-replay. In closed mode, sessions whose rechain was
+    skipped during the outage re-enter as a fresh arrival wave.
+    """
+
+    def __init__(
+        self,
+        client_id: int,
+        cluster: Cluster,
+        workload: WorkloadMix,
+        sessions: int,
+        max_ops: int,
+        rate: Optional[float] = None,
+        think_time: float = 0.0,
+        replica_id: Optional[NodeId] = None,
+        history: Optional[History] = None,
+        request_latency: float = DEFAULT_REQUEST_LATENCY,
+        session_base: int = 0,
+        batch: int = 64,
+        schedule: Optional[List[ScheduleEntry]] = None,
+        rng: Optional[SeededRNG] = None,
+    ) -> None:
+        super().__init__(client_id, cluster, workload, replica_id, history, request_latency)
+        self.sessions = sessions
+        self._batch = batch
+        self._schedule = schedule
+        self._cursor = 0
+        self._ring = _InflightRing()
+        self._record_agg_cb = self._record_agg
+        self._started = False
+        # Pump events carry a version token: a RECOVER restart bumps the
+        # version so a pre-crash pump event still sitting in the queue
+        # cannot double-drive the arrival stream.
+        self._pump_version = 0
+        # Closed mode: sessions whose rechain was skipped because the bound
+        # node was down; re-entered as a wave on RECOVER.
+        self._parked = 0
+        self._txn_sessions: Dict[int, int] = {}
+        if schedule is not None:
+            self.max_ops = len(schedule)
+            self._mode = "scripted"
+            self._agg: Optional[AggregateWorkload] = None
+            self._arrivals: Optional[AggregateArrivals] = None
+            self._wave_remaining = 0
+        else:
+            self.max_ops = max_ops
+            if rng is None:
+                rng = SeededRNG(workload.seed).child(f"aggregated-node-{client_id}")
+            if rate is not None and rate > 0:
+                self._mode = "open"
+                aggregate_rate = float(rate)
+                self._wave_remaining = max_ops
+            elif think_time > 0:
+                self._mode = "closed"
+                aggregate_rate = sessions / think_time
+                self._wave_remaining = min(sessions, max_ops)
+            else:
+                raise WorkloadError(
+                    "AggregatedClient needs a positive rate (open loop) or a "
+                    "positive think_time (closed loop)"
+                )
+            self._agg = AggregateWorkload(workload)
+            self._arrivals = AggregateArrivals(
+                sessions=sessions,
+                aggregate_rate=aggregate_rate,
+                rng=rng,
+                session_base=session_base,
+                request_latency=request_latency,
+                jitter=CLIENT_LATENCY_JITTER,
+                think_time=think_time,
+            )
+        cluster.on_recover(self.replica_id, self._node_recovered)
+
+    @property
+    def done(self) -> bool:
+        """Whether every budgeted operation has completed."""
+        return self.completed >= self.max_ops
+
+    @property
+    def inflight(self) -> int:
+        """Operations currently pre-submitted or in service."""
+        return self._ring.size
+
+    def start(self) -> None:
+        """Begin pumping arrivals (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._sim.call_soon(self._pump, self._pump_version)
+
+    # ------------------------------------------------------------- the pump
+    def _pump(self, version: int) -> None:
+        if version != self._pump_version:
+            return  # superseded by a RECOVER restart
+        if self._schedule is not None:
+            self._pump_scripted(version)
+            return
+        remaining = self._wave_remaining
+        if remaining <= 0:
+            return
+        if self._txn_node().crashed:
+            # Pause with no backlog: nothing is drawn while the node is
+            # down; _node_recovered restarts the pump from the recovery
+            # instant (closed mode re-enters the rest of the wave there).
+            self._stalled = True
+            return
+        count = min(self._batch, remaining)
+        assert self._arrivals is not None and self._agg is not None
+        entries = self._arrivals.draw(self._sim._now, count)
+        synthesize = self._agg.next_operation
+        for issue_time, request_lat, response_lat, session in entries:
+            self._submit_entry(
+                issue_time, request_lat, response_lat, synthesize(session), session
+            )
+        self._wave_remaining = remaining - count
+        if self._wave_remaining > 0:
+            # One engine event per batch: the next batch is drawn when the
+            # simulation reaches this batch's last arrival.
+            self._sim.schedule_at(entries[-1][0], self._pump, version)
+
+    def _pump_scripted(self, version: int) -> None:
+        schedule = self._schedule
+        assert schedule is not None
+        cursor = self._cursor
+        total = len(schedule)
+        if cursor >= total:
+            return
+        if self._txn_node().crashed:
+            self._stalled = True
+            return
+        end = min(cursor + self._batch, total)
+        now = self._sim._now
+        for issue_time, request_lat, response_lat, op in schedule[cursor:end]:
+            if issue_time < now:
+                issue_time = now  # resuming after a crash window: replay late
+            self._submit_entry(issue_time, request_lat, response_lat, op, op.client_id)
+        self._cursor = end
+        if end < total:
+            self._sim.schedule_at(max(schedule[end - 1][0], now), self._pump, version)
+
+    # ---------------------------------------------------------- issue/record
+    def _submit_entry(
+        self,
+        issue_time: float,
+        request_lat: float,
+        response_lat: float,
+        op,
+        session: int,
+    ) -> None:
+        if op.__class__ is Transaction:
+            # Transactions ride the existing 2PC hand-off (which draws its
+            # own jitter, like every other client model); remember the
+            # firing session so a closed-loop completion can rechain it.
+            self._txn_sessions[op.txn_id] = session
+            self._issue_txn(op, issue_time)
+            return
+        self.issued += 1
+        if self.history is not None:
+            self.history.invoke(op, issue_time)
+        replica = self._replica_for(op)
+        if replica.crashed:
+            self._stalled = True
+            self._parked += 1
+            return  # dropped at the node; see ClientSession._issue
+        self._ring.put(op.op_id, (issue_time, response_lat, self._epoch, session))
+        arrival = issue_time + request_lat
+        if arrival > self._sim._now:
+            replica.submit_at(arrival, op, self._record_agg_cb)
+        else:
+            replica.submit(op, self._record_agg_cb)
+
+    def _record_agg(self, op: Operation, status: OpStatus, value: Value) -> None:
+        start, response_lat, epoch, session = self._ring.pop(op.op_id)
+        end = self._sim._now + response_lat
+        if self.history is not None:
+            self.history.respond(op, end, status, value)
+        self.completed += 1
+        if status is OpStatus.ABORTED:
+            self.aborted += 1
+        self._results_append(
+            OperationResult(
+                op=op,
+                status=status,
+                value=value,
+                start_time=start,
+                end_time=end,
+                served_by=self.replica_id,
+            )
+        )
+        if self._mode == "closed" and epoch == self._epoch and self.issued < self.max_ops:
+            self._rechain(session, end)
+
+    def _record_txn(self, txn: Transaction, outcome: TxnOutcome) -> None:
+        session = self._txn_sessions.pop(txn.txn_id, None)
+        ctx = self._txn_inflight.get(txn.txn_id)
+        epoch_ok = ctx is not None and ctx[2] == self._epoch
+        response_lat = ctx[1] if ctx is not None else 0.0
+        super()._record_txn(txn, outcome)
+        if (
+            self._mode == "closed"
+            and epoch_ok
+            and session is not None
+            and self.issued < self.max_ops
+        ):
+            self._rechain(session, self._sim._now + response_lat)
+
+    def _rechain(self, session: int, completion_time: float) -> None:
+        assert self._arrivals is not None and self._agg is not None
+        issue_time, request_lat, response_lat = self._arrivals.rechain(
+            completion_time, session
+        )[:3]
+        self._submit_entry(
+            issue_time,
+            request_lat,
+            response_lat,
+            self._agg.next_operation(session),
+            session,
+        )
+
+    # -------------------------------------------------------- crash/recovery
+    def _node_recovered(self, node_id: NodeId) -> None:
+        """Resume pumping after the bound node recovers from a crash.
+
+        The epoch bump (as in the per-session models) keeps completions of
+        pre-crash operations from rechaining into a restarted stream; the
+        pump-version bump retires any pre-crash pump event still queued.
+        """
+        self._epoch += 1
+        if not self._started:
+            return
+        self._pump_version += 1
+        self._stalled = False
+        if self._mode == "closed":
+            self._wave_remaining += self._parked
+            self._parked = 0
+        self._sim.call_soon(self._pump, self._pump_version)
 
 
 def run_clients(

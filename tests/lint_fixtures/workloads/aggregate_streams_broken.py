@@ -1,0 +1,15 @@
+"""Fixture: seeded ``random.Random`` construction inside an aggregated-workload
+module — the strict D002 zone forbids even seeded constructors here; session
+streams must derive from ``repro.sim.rng.SeededRNG``."""
+
+import random
+
+from random import Random  # expect: D002
+
+
+def make_session_stream(seed: int):
+    return random.Random(seed)  # expect: D002
+
+
+def make_secure_stream():
+    return random.SystemRandom()  # expect: D002
